@@ -1,0 +1,106 @@
+// Ablation for section 2.5's design choice: STL vs the naive seasonal
+// model.  The paper adopted STL after finding it more robust to
+// outliers; this bench quantifies that on synthetic WFH-style series
+// with and without outlier bursts, and compares detection timing.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "analysis/cusum.h"
+#include "analysis/naive_seasonal.h"
+#include "analysis/stats.h"
+#include "analysis/stl.h"
+#include "common.h"
+#include "util/rng.h"
+
+using namespace diurnal;
+
+namespace {
+
+struct Series {
+  std::vector<double> y;
+  std::vector<double> trend;
+};
+
+// Office-style series: diurnal + weekly pattern over a slowly varying
+// baseline, with a WFH-style permanent drop at `drop_day`.
+Series make_series(int days, int drop_day, double outlier_burst,
+                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Series s;
+  for (int d = 0; d < days; ++d) {
+    const bool work = (d + 2) % 7 >= 1 && (d + 2) % 7 <= 5;
+    const double base = d >= drop_day ? 2.0 : 12.0;
+    for (int h = 0; h < 24; ++h) {
+      const double diurnal = (work && h >= 9 && h < 17) ? base : 1.0;
+      s.trend.push_back(d >= drop_day ? 1.4 : 5.0);  // rough expected level
+      s.y.push_back(std::max(0.0, diurnal + rng.normal(0, 0.4)));
+    }
+  }
+  if (outlier_burst > 0) {
+    for (int i = 20 * 24; i < 20 * 24 + 10; ++i) {
+      s.y[static_cast<std::size_t>(i)] += outlier_burst;
+    }
+    for (int i = 33 * 24; i < 33 * 24 + 8; ++i) {
+      s.y[static_cast<std::size_t>(i)] += outlier_burst;
+    }
+  }
+  return s;
+}
+
+double detect_offset_days(const std::vector<double>& trend, int drop_day) {
+  util::TimeSeries t(0, util::kSecondsPerHour, trend);
+  const auto z = t.zscore();
+  const auto res = analysis::cusum_detect(z.span(), {1.0, 0.001});
+  for (const auto& c : res.changes) {
+    if (c.direction == analysis::ChangeDirection::kDown) {
+      return static_cast<double>(c.alarm) / 24.0 - drop_day;
+    }
+  }
+  return 1e9;  // not detected
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: trend extraction",
+                "STL vs the naive seasonal model (section 2.5)");
+  const int days = 70, drop_day = 42;
+
+  util::TextTable t({"outlier burst", "model", "trend roughness",
+                     "residual |mean|", "detection offset (days)"});
+  for (const double burst : {0.0, 30.0, 80.0}) {
+    const auto s = make_series(days, drop_day, burst, 11);
+
+    analysis::StlOptions opt;
+    opt.period = 168;
+    opt.trend_span = 169;
+    opt.outer_iterations = 2;
+    const auto stl = analysis::stl_decompose(s.y, opt);
+    const auto naive = analysis::naive_decompose(s.y, 168);
+
+    auto roughness = [](const std::vector<double>& trend) {
+      // Mean absolute second difference: spikes make it explode.
+      double sum = 0.0;
+      for (std::size_t i = 2; i < trend.size(); ++i) {
+        sum += std::abs(trend[i] - 2 * trend[i - 1] + trend[i - 2]);
+      }
+      return sum / static_cast<double>(trend.size());
+    };
+    for (const auto* model : {"STL", "naive"}) {
+      const auto& dec_trend = model[0] == 'S' ? stl.trend : naive.trend;
+      const auto& dec_resid = model[0] == 'S' ? stl.residual : naive.residual;
+      const double off = detect_offset_days(dec_trend, drop_day);
+      t.add_row({util::fmt(burst, 0), model,
+                 util::fmt(roughness(dec_trend) * 1000, 2) + "e-3",
+                 util::fmt(std::abs(analysis::mean(dec_resid)), 4),
+                 off > 1e8 ? "missed" : util::fmt(off, 1)});
+    }
+  }
+  t.print();
+
+  std::printf("\nExpectation (the paper's rationale): with outlier bursts the\n"
+              "robust STL trend stays smooth and detection stays on time,\n"
+              "while the naive moving-average trend absorbs the bursts.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Appendix E: Indiana on 2020-03-15.  The paper found
+// 36 Indiana University blocks (AS87/AS27198) detected as WFH on
+// 2020-03-15, matching spring break (03-13) followed by remote learning
+// (03-19) — an event the authors discovered through the tool.
+// Universities matter because their large IPv4 allocations put end hosts
+// on public addresses even in the always-on-NAT United States.
+#include <cstdio>
+
+#include "common.h"
+#include "core/pipeline.h"
+
+using namespace diurnal;
+
+int main() {
+  bench::header("Appendix E", "Indiana on 2020-03-15",
+                "single-country world (US); detection over 2020q1");
+  auto wc = bench::scaled_world(9000);
+  wc.only_country = "US";
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020q1-ejnw");
+  const auto fleet = core::run_fleet(world, fc);
+
+  const auto bloomington = geo::GridCell::of(39.2, -86.5);
+  int cs_blocks = 0, university_cs = 0, wfh_detected = 0, university_wfh = 0;
+  for (std::size_t i = 0; i < fleet.outcomes.size(); ++i) {
+    const auto& out = fleet.outcomes[i];
+    const auto& b = world.blocks()[i];
+    if (!out.cls.change_sensitive || b.cell() != bloomington) continue;
+    ++cs_blocks;
+    const bool university = b.category == sim::BlockCategory::kUniversity;
+    university_cs += university;
+    for (const auto& c : out.changes) {
+      if (c.filtered_as_outage ||
+          c.direction != analysis::ChangeDirection::kDown) {
+        continue;
+      }
+      if (std::llabs(c.alarm - util::time_of(2020, 3, 15)) <=
+          4 * util::kSecondsPerDay) {
+        ++wfh_detected;
+        university_wfh += university;
+        break;
+      }
+    }
+  }
+
+  std::printf("Bloomington gridcell %s:\n", bloomington.to_string().c_str());
+  std::printf("  change-sensitive blocks:            %d (of them university: %d)\n",
+              cs_blocks, university_cs);
+  std::printf("  WFH detections within 4d of 03-15:  %d (university: %d)\n",
+              wfh_detected, university_wfh);
+
+  // US-wide context: how rare change-sensitivity is in the US.
+  const auto& f = fleet.funnel;
+  std::printf("\nUS-wide: %s of %s responsive blocks are change-sensitive "
+              "(%s; the paper's point that always-on NAT hides most US "
+              "networks, leaving universities visible).\n",
+              util::fmt_count(f.change_sensitive).c_str(),
+              util::fmt_count(f.responsive).c_str(),
+              util::fmt_pct(f.responsive
+                                ? static_cast<double>(f.change_sensitive) /
+                                      f.responsive
+                                : 0)
+                  .c_str());
+  std::printf("\nShape check: WFH detected in the Bloomington cell near "
+              "2020-03-15: %s\n", wfh_detected > 0 ? "HOLDS" : "VIOLATED");
+  return 0;
+}

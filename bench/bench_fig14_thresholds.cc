@@ -1,0 +1,72 @@
+// Reproduces paper Figure 14 (Appendix D): sensitivity of geographic
+// coverage to the observed/represented gridcell thresholds.  The paper
+// picks 5 for both and shows coverage is similar for most small values
+// (>= 3), with block-weighted coverage nearly insensitive.
+#include <cstdio>
+
+#include "common.h"
+#include "core/pipeline.h"
+#include "geo/coverage.h"
+
+using namespace diurnal;
+
+int main() {
+  bench::header("Figure 14", "CDF of gridcell thresholds (Appendix D)");
+  const auto wc = bench::scaled_world(10000);
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020m1-ejnw");
+  fc.run_detection = false;
+  const auto fleet = core::run_fleet(world, fc);
+
+  geo::CellCountMap cells;
+  for (std::size_t i = 0; i < fleet.outcomes.size(); ++i) {
+    const auto& out = fleet.outcomes[i];
+    if (!out.cls.responsive) continue;
+    auto& c = cells[world.blocks()[i].cell()];
+    ++c.responsive;
+    c.change_sensitive += out.cls.change_sensitive;
+  }
+
+  const auto sweep = geo::sweep_thresholds(cells, 40);
+  util::TextTable t({"threshold", "well-observed cells", "represented cells",
+                     ""});
+  for (const auto& p : sweep) {
+    if (p.threshold > 12 && p.threshold % 4 != 0) continue;
+    t.add_row({std::to_string(p.threshold),
+               util::fmt_pct(p.observed_cell_fraction),
+               util::fmt_pct(p.represented_cell_fraction),
+               bench::bar(p.represented_cell_fraction, 30)});
+  }
+  t.print();
+
+  // Block-weighted coverage across thresholds (the paper's insensitivity
+  // claim).
+  std::printf("\nblock-weighted coverage by representation threshold:\n");
+  for (const int thr : {1, 3, 5, 10, 20}) {
+    const auto s = geo::summarize_coverage(cells, 5, thr);
+    std::printf("  t=%2d  represented cells %-7s  c-s blocks %-7s  "
+                "resp blocks %s\n",
+                thr, util::fmt_pct(s.represented_cell_fraction()).c_str(),
+                util::fmt_pct(s.cs_block_fraction()).c_str(),
+                util::fmt_pct(s.resp_block_fraction()).c_str());
+  }
+
+  // The substance of the paper's insensitivity claim: the majority of
+  // blocks live in well-populated gridcells, so block-weighted coverage
+  // sits far above cell-weighted coverage at every threshold.  (The
+  // absolute insensitivity up to t~100 needs the paper's 5.2M-block
+  // scale, where each populated cell holds thousands of blocks.)
+  bool heavy_tailed = true;
+  for (const int thr : {3, 5, 10}) {
+    const auto s = geo::summarize_coverage(cells, 5, thr);
+    heavy_tailed &= s.cs_block_fraction() >
+                    s.represented_cell_fraction() + 0.10;
+  }
+  std::printf("\nShape check: block-weighted coverage far exceeds "
+              "cell-weighted coverage at t = 3, 5, 10 (blocks concentrate "
+              "in well-represented cells): %s\n",
+              heavy_tailed ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Figure 2: address reconstruction for a simple
+// 4-address block over ten rounds, showing the incremental estimate
+// converging on the truth as addresses are rescanned.
+#include <cstdio>
+
+#include "common.h"
+#include "recon/reconstruct.h"
+
+using namespace diurnal;
+
+int main() {
+  bench::header("Figure 2", "Address reconstruction for a 4-address block");
+
+  // The paper's scan schedule: per-round probes and results.
+  struct Scan {
+    int round;
+    int addr;
+    bool up;
+  };
+  const Scan scans[] = {
+      {1, 0, false}, {2, 1, false}, {3, 2, true},  {4, 3, true},
+      {5, 0, true},  {5, 2, false}, {6, 1, false}, {7, 1, true},
+      {8, 2, true},  {9, 0, true},  {10, 3, true},
+  };
+  // Ground-truth per-round states (paper's bottom row): addresses
+  // .1 .2 .3 .4 across rounds 1..10.
+  const int truth[10][4] = {
+      {0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1}, {1, 0, 0, 1},
+      {1, 0, 0, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1},
+  };
+
+  probe::ObservationVec obs;
+  int offset = 0;
+  int prev_round = 0;
+  for (const auto& s : scans) {
+    offset = (s.round == prev_round) ? offset + 1 : 0;
+    prev_round = s.round;
+    obs.push_back(probe::Observation{
+        static_cast<std::uint32_t>(s.round * 60 + offset),
+        static_cast<std::uint8_t>(s.addr), s.up});
+  }
+  recon::ReconOptions opt;
+  opt.sample_step = 60;
+  const auto r = recon::reconstruct(obs, 4, probe::ProbeWindow{0, 11 * 60}, opt);
+
+  std::printf("round:      ");
+  for (int round = 1; round <= 10; ++round) std::printf("%3d", round);
+  std::printf("\n");
+  for (int a = 0; a < 4; ++a) {
+    std::printf(".%d status:  ", a + 1);
+    for (int round = 0; round < 10; ++round) std::printf("%3d", truth[round][a]);
+    std::printf("\n");
+  }
+  std::printf("estimate:   ");
+  for (int round = 1; round <= 10; ++round) {
+    const double v = r.counts[static_cast<std::size_t>(round)];
+    std::printf("%3.0f", v);
+  }
+  std::printf("\ntruth:      ");
+  for (int round = 0; round < 10; ++round) {
+    int sum = 0;
+    for (int a = 0; a < 4; ++a) sum += truth[round][a];
+    std::printf("%3d", sum);
+  }
+  std::printf("\n\nthe estimate lags the truth until each changed address is "
+              "rescanned,\nthen converges (rounds 8-10; paper shows the same "
+              "convergence).\n");
+  std::printf("observed targets: %d of %d; reply rate %.2f\n",
+              r.observed_targets, r.eb_count, r.mean_reply_rate);
+  return 0;
+}

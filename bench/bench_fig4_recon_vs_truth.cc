@@ -1,0 +1,61 @@
+// Reproduces paper Figure 4 (and Appendix C): two reconstructed blocks
+// compared with their survey ground truth.  The easy block (small,
+// quickly scanned) correlates ~0.89 with truth; the hard block (large,
+// heavily used, so Trinocular's stop-at-first-positive only advances one
+// address per round) shows the low-pass effect and correlates ~0.40.
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "common.h"
+#include "recon/block_recon.h"
+
+using namespace diurnal;
+
+namespace {
+
+void compare_block(const sim::World& world, const sim::BlockProfile& block,
+                   const char* label) {
+  recon::BlockObservationConfig oc;
+  oc.observers = probe::sites_from_string("ejnw");
+  oc.window = probe::ProbeWindow{util::time_of(2020, 2, 19),
+                                 util::time_of(2020, 3, 4)};
+  const auto r = recon::observe_and_reconstruct(block, oc);
+  const auto truth =
+      world.truth_series(block, oc.window.start, oc.window.end, 3600);
+  const double corr = analysis::pearson(r.counts.span(), truth.span());
+  std::printf("%s: |E(b)| = %d, Pearson correlation = %.2f, median FBS = %.1f h\n",
+              label, block.eb_count, corr,
+              r.fbs_median_seconds() / 3600.0);
+  std::printf("  %-12s %-12s %s\n", "time", "truth", "reconstruction");
+  for (std::size_t i = 0; i < truth.size(); i += 12) {
+    std::printf("  %-12s %6.0f %s| %6.0f %s\n",
+                util::to_string_time(truth.time_at(i)).c_str(), truth[i],
+                bench::bar(truth[i] / std::max(1.0, truth.max()), 20).c_str(),
+                r.counts[i],
+                bench::bar(r.counts[i] / std::max(1.0, truth.max()), 20).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 4", "Two reconstructed /24 blocks vs ground truth",
+                "window matches the 2020it89 survey (2020-02-19, two weeks)");
+  sim::WorldConfig wc;
+  wc.num_blocks = 0;
+  const sim::World world(wc);
+
+  // Easy: the USC office block (small active population, fast scans).
+  compare_block(world, *world.find(world.usc_office_block()),
+                "easy block (128.9.144.0/24)");
+  // Hard: the heavily used VPN block (most of 250 addresses respond, so
+  // reconstruction lags; the paper's lower panel).
+  compare_block(world, *world.find(world.usc_vpn_block()),
+                "hard block (128.125.52.0/24)");
+
+  std::printf("paper: correlations 0.89 (easy) and 0.40 (hard); the hard\n"
+              "block's reconstruction is visibly low-passed (flattened peaks,\n"
+              "raised valleys) but remains change-sensitive.\n");
+  return 0;
+}

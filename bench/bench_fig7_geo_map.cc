@@ -1,0 +1,87 @@
+// Reproduces paper Figure 7: the geographic distribution of
+// change-sensitive blocks per 2x2-degree gridcell (dataset 2020m1).
+// The paper's shape: best coverage in Asia, moderate in Europe and
+// North America, sparse in South America and (outside Morocco) Africa.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.h"
+#include "core/pipeline.h"
+#include "geo/countries.h"
+
+using namespace diurnal;
+
+int main() {
+  bench::header("Figure 7",
+                "Change-sensitive blocks per 2x2-degree gridcell (2020m1)");
+  const auto wc = bench::scaled_world(12000);
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020m1-ejnw");
+  fc.run_detection = false;
+  const auto fleet = core::run_fleet(world, fc);
+
+  struct CellAgg {
+    int cs = 0;
+    std::map<std::string, int> by_country;
+  };
+  std::map<geo::GridCell, CellAgg> cells;
+  std::map<std::string, int> by_continent_cs;
+  std::map<std::string, int> by_continent_resp;
+  for (std::size_t i = 0; i < fleet.outcomes.size(); ++i) {
+    const auto& out = fleet.outcomes[i];
+    const auto& b = world.blocks()[i];
+    const auto cont = std::string(
+        geo::to_string(geo::countries()[b.country].continent));
+    if (out.cls.responsive) ++by_continent_resp[cont];
+    if (!out.cls.change_sensitive) continue;
+    ++by_continent_cs[cont];
+    auto& c = cells[b.cell()];
+    ++c.cs;
+    ++c.by_country[geo::countries()[b.country].code];
+  }
+
+  std::vector<std::pair<geo::GridCell, CellAgg>> sorted(cells.begin(), cells.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second.cs > b.second.cs; });
+
+  std::printf("top gridcells by change-sensitive blocks (circle areas in the "
+              "paper's map):\n");
+  util::TextTable t({"gridcell", "c-s blocks", "dominant country", ""});
+  for (std::size_t i = 0; i < std::min<std::size_t>(sorted.size(), 25); ++i) {
+    const auto& [cell, agg] = sorted[i];
+    std::string dom;
+    int best = 0;
+    for (const auto& [code, n] : agg.by_country) {
+      if (n > best) {
+        best = n;
+        dom = code;
+      }
+    }
+    t.add_row({cell.to_string(), util::fmt_count(agg.cs), dom,
+               bench::bar(static_cast<double>(agg.cs) / sorted[0].second.cs, 30)});
+  }
+  t.print();
+
+  std::printf("\nchange-sensitive blocks by continent (paper: Asia best, "
+              "Europe/N.America moderate, S.America/Africa sparse):\n");
+  util::TextTable ct({"continent", "c-s blocks", "responsive", "c-s share"});
+  for (const auto& [cont, n] : by_continent_cs) {
+    const int resp = by_continent_resp[cont];
+    ct.add_row({cont, util::fmt_count(n), util::fmt_count(resp),
+                resp ? util::fmt_pct(static_cast<double>(n) / resp) : "-"});
+  }
+  ct.print();
+
+  const int asia = by_continent_cs["Asia"];
+  int others_max = 0;
+  for (const auto& [cont, n] : by_continent_cs) {
+    if (cont != "Asia") others_max = std::max(others_max, n);
+  }
+  std::printf("\nShape check: Asia holds the most change-sensitive blocks: %s\n",
+              asia > others_max ? "HOLDS" : "VIOLATED");
+  return 0;
+}

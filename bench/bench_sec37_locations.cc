@@ -1,0 +1,74 @@
+// Reproduces paper section 3.7: validation by location.  Two randomly
+// selected gridcells — (24N,54E) in the United Arab Emirates and
+// (46N,14E) in Slovenia — are examined block by block: detections near
+// the documented lockdown dates (UAE 2020-03-22..26, Slovenia
+// 2020-03-16) give 100% precision at both locations, recall 73%/77%,
+// and the per-day down-change count peaks on the lockdown date, an
+// order of magnitude above any other day.
+#include <cstdio>
+
+#include "common.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+
+using namespace diurnal;
+
+namespace {
+
+void report(const core::LocationValidation& loc, const char* name,
+            const char* paper_claims) {
+  std::printf("%s %s:\n", name, loc.label.c_str());
+  std::printf("  sampled change-sensitive blocks: %d\n", loc.sample.total);
+  std::printf("  true positives %d, false positives %d, missed %d\n",
+              loc.sample.true_positive, loc.sample.false_positive,
+              loc.sample.false_negative);
+  std::printf("  precision %s   recall %s\n",
+              util::fmt_pct(loc.sample.precision()).c_str(),
+              util::fmt_pct(loc.sample.recall()).c_str());
+  std::printf("  peak down-day: %s (%d blocks, %s of the cell)\n",
+              util::to_string(util::date_of(loc.peak_day)).c_str(),
+              loc.peak_down_count,
+              util::fmt_pct(loc.peak_down_fraction).c_str());
+  std::printf("  paper: %s\n\n", paper_claims);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Section 3.7", "Validation by location (UAE and Slovenia)");
+
+  // The paper examines these locations over 2020h1 (the UAE lockdown on
+  // 2020-03-24 sits right at the end of q1); classify on the pre-Covid
+  // January baseline as section 3.4 prescribes.
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020h1-ejnw");
+  fc.classify_dataset = core::dataset("2020m1-ejnw");
+  core::ValidationConfig vc;
+  vc.window = fc.dataset.window();
+  vc.sample_size = 25;
+
+  // Dense single-country worlds give each cell a realistic block count.
+  {
+    auto wc = bench::scaled_world(2500, 1, false);
+    wc.only_country = "AE";
+    const sim::World world(wc);
+    const auto fleet = core::run_fleet(world, fc);
+    const auto loc = core::validate_location(
+        world, fleet, geo::GridCell::of(24.5, 54.4), vc);
+    report(loc, "United Arab Emirates",
+           "precision 100%, recall 73%; peak 2020-03-24 with 21.3% of "
+           "blocks, ten times any other day in 2020h1");
+  }
+  {
+    auto wc = bench::scaled_world(2500, 2, false);
+    wc.only_country = "SI";
+    const sim::World world(wc);
+    const auto fleet = core::run_fleet(world, fc);
+    const auto loc = core::validate_location(
+        world, fleet, geo::GridCell::of(46.1, 14.5), vc);
+    report(loc, "Slovenia",
+           "precision 100%, recall 77%; peak on 2020-03-16 (schools "
+           "closed), larger than any other peak");
+  }
+  return 0;
+}

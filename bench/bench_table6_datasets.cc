@@ -1,0 +1,25 @@
+// Reproduces paper Table 6: the inventory of existing, publicly
+// available datasets, expressed as analysis windows over the synthetic
+// substrate (see DESIGN.md for the substitution).
+#include <cstdio>
+
+#include "common.h"
+#include "core/datasets.h"
+
+using namespace diurnal;
+
+int main() {
+  bench::header("Table 6", "Existing, publicly available datasets");
+  util::TextTable t({"abbr", "dataset name", "start", "duration"});
+  for (const auto& d : core::table6_datasets()) {
+    t.add_row({d.abbr, d.full_name, util::to_string(d.start),
+               std::to_string(d.duration_weeks) + " weeks"});
+  }
+  t.print();
+  std::printf(
+      "\nsites: c: Ft. Collins, Colorado; e: ISI East (Washington DC);\n"
+      "g: Athens, Greece; j: Keio University (Tokyo); n: Utrecht,\n"
+      "Netherlands; w: ISI West (Los Angeles); x: additional observer\n"
+      "(section 2.8).\n");
+  return 0;
+}

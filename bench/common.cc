@@ -1,0 +1,57 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace diurnal::bench {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+void header(const std::string& artifact, const std::string& title,
+            const std::string& note) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", artifact.c_str(), title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("================================================================\n");
+}
+
+sim::WorldConfig scaled_world(int default_blocks, std::uint64_t seed,
+                              bool announce) {
+  sim::WorldConfig wc;
+  wc.num_blocks = env_int("DIURNAL_BENCH_BLOCKS", default_blocks);
+  wc.seed = static_cast<std::uint64_t>(
+      env_int("DIURNAL_BENCH_SEED", static_cast<int>(seed)));
+  if (announce) {
+    std::printf(
+        "world: %d routed /24 blocks (paper: 11.1M routed; scale ~1:%d), "
+        "seed %llu\n\n",
+        wc.num_blocks, wc.num_blocks > 0 ? 11'100'000 / wc.num_blocks : 0,
+        static_cast<unsigned long long>(wc.seed));
+  }
+  return wc;
+}
+
+void print_funnel(const std::string& name, const core::FunnelCounts& f) {
+  using util::fmt_count;
+  std::printf("%-18s routed %s | responsive %s | diurnal %s | wide %s | "
+              "change-sensitive %s\n",
+              name.c_str(), fmt_count(f.routed).c_str(),
+              fmt_count(f.responsive).c_str(), fmt_count(f.diurnal).c_str(),
+              fmt_count(f.wide_swing).c_str(),
+              fmt_count(f.change_sensitive).c_str());
+}
+
+std::string bar(double fraction, int width) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string out(static_cast<std::size_t>(filled), '#');
+  out.append(static_cast<std::size_t>(width - filled), '.');
+  return out;
+}
+
+}  // namespace diurnal::bench

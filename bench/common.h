@@ -1,0 +1,40 @@
+// Shared scaffolding for the per-table/per-figure reproduction benches.
+//
+// Every bench prints (a) which paper artifact it regenerates, (b) the
+// scale factor of its synthetic world relative to the paper's 11.1M
+// routed /24s, and (c) the same rows/series the paper reports, so runs
+// can be diffed against EXPERIMENTS.md.
+//
+// Scale knobs (environment):
+//   DIURNAL_BENCH_BLOCKS  override the world size of fleet benches
+//   DIURNAL_BENCH_SEED    override the world seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/classify.h"
+#include "sim/world.h"
+#include "util/table.h"
+
+namespace diurnal::bench {
+
+/// Reads an integer environment override.
+int env_int(const char* name, int fallback);
+
+/// Prints the bench banner: artifact id, title, and scale note.
+void header(const std::string& artifact, const std::string& title,
+            const std::string& note = {});
+
+/// World config scaled by DIURNAL_BENCH_BLOCKS/DIURNAL_BENCH_SEED, with
+/// a printed scale annotation.
+sim::WorldConfig scaled_world(int default_blocks, std::uint64_t seed = 1,
+                              bool announce = true);
+
+/// Appends a Table 2-style funnel column description.
+void print_funnel(const std::string& name, const core::FunnelCounts& f);
+
+/// Renders a small inline bar for text "plots".
+std::string bar(double fraction, int width = 40);
+
+}  // namespace diurnal::bench

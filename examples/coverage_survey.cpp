@@ -1,0 +1,66 @@
+// coverage_survey: where can this technique see human activity?
+//
+// Classifies a world, then reports geographic coverage the way the
+// paper's Table 4 does: which 2x2-degree gridcells hold enough
+// change-sensitive blocks to represent human-activity changes, and what
+// fraction of the ping-responsive Internet those cells hold.  Also
+// demonstrates geolocation-noise tolerance: the same aggregation run on
+// a Maxmind-style perturbed geolocation database barely moves.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "geo/coverage.h"
+
+using namespace diurnal;
+
+int main(int argc, char** argv) {
+  const int num_blocks = argc > 1 ? std::atoi(argv[1]) : 4000;
+  std::printf("coverage_survey: %d blocks, dataset 2020m1-ejnw\n\n", num_blocks);
+
+  sim::WorldConfig wc;
+  wc.num_blocks = num_blocks;
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020m1-ejnw");
+  fc.run_detection = false;
+  const auto fleet = core::run_fleet(world, fc);
+
+  // True locations vs a perturbed (city-level error) geolocation DB.
+  const auto noisy_geo = world.geodb().perturbed(0.3, 99);
+  geo::CellCountMap cells_true, cells_noisy;
+  for (std::size_t i = 0; i < fleet.outcomes.size(); ++i) {
+    const auto& out = fleet.outcomes[i];
+    if (!out.cls.responsive) continue;
+    const auto& b = world.blocks()[i];
+    auto& t = cells_true[b.cell()];
+    ++t.responsive;
+    t.change_sensitive += out.cls.change_sensitive;
+    if (const auto rec = noisy_geo.lookup(b.id)) {
+      auto& n = cells_noisy[rec->cell()];
+      ++n.responsive;
+      n.change_sensitive += out.cls.change_sensitive;
+    }
+  }
+
+  for (const auto* label : {"true geolocation", "perturbed geolocation"}) {
+    const auto& cells = label[0] == 't' ? cells_true : cells_noisy;
+    // Scale-adjusted thresholds: the paper's t=5 assumes full-scale cell
+    // populations (~150 change-sensitive blocks per populated cell).
+    const auto s = geo::summarize_coverage(cells, 1, 1);
+    std::printf("%s:\n", label);
+    std::printf("  gridcells: %lld total, %lld observed, %lld represented "
+                "(%.0f%% of observed)\n",
+                static_cast<long long>(s.cells_total),
+                static_cast<long long>(s.cells_observed),
+                static_cast<long long>(s.cells_represented),
+                s.represented_cell_fraction() * 100);
+    std::printf("  block-weighted: %.1f%% of change-sensitive and %.1f%% of "
+                "responsive blocks are in represented cells\n\n",
+                s.cs_block_fraction() * 100, s.resp_block_fraction() * 100);
+  }
+  std::printf("2x2-degree cells absorb city-level geolocation error: the two\n"
+              "summaries should be nearly identical (paper section 2.6).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// outage_vs_wfh: distinguishing human-activity changes from outages.
+//
+// Builds two otherwise identical office blocks: one begins work-from-
+// home on 2020-03-15, the other suffers a 36-hour outage the same week.
+// Both produce downward CUSUM changes; the outage also produces a
+// closely paired upward change, which the section-2.6 filter uses to
+// discard it.
+#include <cstdio>
+
+#include "core/detect.h"
+#include "recon/block_recon.h"
+#include "sim/world.h"
+
+using namespace diurnal;
+
+namespace {
+
+sim::BlockProfile office(std::uint64_t seed) {
+  sim::BlockProfile b;
+  b.id = net::BlockId::parse("10.1.0.0/24");
+  b.category = sim::BlockCategory::kOffice;
+  b.tz_offset_hours = -8;
+  b.eb_count = 96;
+  b.always_on = 2;
+  b.seed = seed;
+  b.base_attendance = 0.93f;
+  b.current_fraction = 0.4f;
+  return b;
+}
+
+void analyze(const sim::BlockProfile& block, const char* label) {
+  recon::BlockObservationConfig oc;
+  oc.observers = probe::sites_from_string("ejnw");
+  oc.window = probe::ProbeWindow{util::time_of(2020, 1, 1),
+                                 util::time_of(2020, 3, 25)};
+  const auto recon = recon::observe_and_reconstruct(block, oc);
+  const auto det = core::detect_changes(recon.counts);
+
+  std::printf("%s:\n", label);
+  for (const auto& c : det.changes) {
+    std::printf("  %s  alarm %s  amplitude %+5.1f addr  %s\n",
+                c.direction == analysis::ChangeDirection::kDown ? "DOWN" : "UP ",
+                util::to_string(util::date_of(c.alarm)).c_str(),
+                c.amplitude_addresses,
+                c.filtered_as_outage ? "[discarded: outage/renumbering pair]"
+                : c.filtered_small   ? "[discarded: below amplitude floor]"
+                                     : "<- human-activity change");
+  }
+  const auto activity = det.activity_changes();
+  std::printf("  => %zu human-activity change(s)\n\n", activity.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Two office blocks, one signal each -- who is really WFH?\n\n");
+
+  // Block A: work-from-home from 2020-03-15 (a persistent change).
+  auto wfh_block = office(111);
+  wfh_block.suppressions.push_back(sim::Suppression{
+      util::time_of(2020, 3, 15), util::time_of(2020, 7, 1), 0.08,
+      sim::EventKind::kWorkFromHome});
+  analyze(wfh_block, "block A: WFH begins 2020-03-15");
+
+  // Block B: a day-and-a-half outage starting 2020-03-16 (down, then
+  // right back up).
+  auto outage_block = office(222);
+  outage_block.id = net::BlockId::parse("10.2.0.0/24");
+  outage_block.outages.push_back(sim::OutageInterval{
+      util::time_of(2020, 3, 16) + 6 * 3600,
+      util::time_of(2020, 3, 17) + 18 * 3600});
+  analyze(outage_block, "block B: 36-hour outage starting 2020-03-16");
+
+  std::printf("block A keeps its downward change; block B's down/up pair is\n"
+              "attributed to an outage and discarded (paper section 2.6).\n");
+  return 0;
+}

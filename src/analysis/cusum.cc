@@ -1,0 +1,80 @@
+#include "analysis/cusum.h"
+
+#include <algorithm>
+
+namespace diurnal::analysis {
+
+CusumResult cusum_detect(std::span<const double> x, const CusumOptions& opt) {
+  CusumResult res;
+  const std::size_t n = x.size();
+  res.g_pos.assign(n, 0.0);
+  res.g_neg.assign(n, 0.0);
+  if (n < 2) return res;
+
+  double gp = 0.0, gn = 0.0;
+  std::size_t tap = 0, tan = 0;  // last zero-crossings of each accumulator
+  for (std::size_t i = 1; i < n; ++i) {
+    const double s = x[i] - x[i - 1];
+    gp = gp + s - opt.drift;
+    gn = gn - s - opt.drift;
+    if (gp < 0.0) {
+      gp = 0.0;
+      tap = i;
+    }
+    if (gn < 0.0) {
+      gn = 0.0;
+      tan = i;
+    }
+    res.g_pos[i] = gp;
+    res.g_neg[i] = gn;
+
+    if (gp > opt.threshold || gn > opt.threshold) {
+      ChangePoint cp;
+      cp.alarm = i;
+      const bool up = gp > opt.threshold;
+      cp.direction = up ? ChangeDirection::kUp : ChangeDirection::kDown;
+      cp.start = up ? tap : tan;
+      // Track the excursion forward to estimate where it stops growing:
+      // continue the same-direction accumulation (without drift) and
+      // take the argmax; stop once it decays to half its peak or the
+      // series ends.
+      double g = up ? gp : gn;
+      double peak = g;
+      std::size_t end = i;
+      std::size_t j = i;
+      while (j + 1 < n) {
+        ++j;
+        const double sj = x[j] - x[j - 1];
+        g += up ? sj : -sj;
+        if (g > peak) {
+          peak = g;
+          end = j;
+        }
+        if (g <= 0.0 || g < 0.5 * peak) break;
+      }
+      cp.end = end;
+      cp.amplitude = x[cp.end] - x[cp.start];
+      res.changes.push_back(cp);
+
+      // Reset both accumulators after the excursion and resume scanning.
+      gp = gn = 0.0;
+      tap = tan = end;
+      i = std::max(i, end);
+    }
+  }
+  return res;
+}
+
+std::vector<DatedChange> cusum_detect_dated(const util::TimeSeries& series,
+                                            const CusumOptions& opt) {
+  const auto res = cusum_detect(series.span(), opt);
+  std::vector<DatedChange> out;
+  out.reserve(res.changes.size());
+  for (const auto& cp : res.changes) {
+    out.push_back(DatedChange{cp, series.time_at(cp.start),
+                              series.time_at(cp.alarm), series.time_at(cp.end)});
+  }
+  return out;
+}
+
+}  // namespace diurnal::analysis

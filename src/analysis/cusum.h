@@ -1,0 +1,57 @@
+// Two-sided CUSUM change-point detection (paper section 2.6).
+//
+// Follows the `detecta` detect_cusum semantics (Duarte 2020; Gustafsson
+// 2000): accumulate successive differences against a drift term; alarm
+// when either the positive or negative accumulator exceeds the
+// threshold; the change start is the last time that accumulator was
+// zero.  The paper applies it to the z-score-normalized STL trend with
+// threshold 1 and drift 0.001.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/timeseries.h"
+
+namespace diurnal::analysis {
+
+enum class ChangeDirection { kUp, kDown };
+
+/// One detected change.
+struct ChangePoint {
+  std::size_t start = 0;  ///< index where the accumulator left zero
+  std::size_t alarm = 0;  ///< index where the threshold was crossed
+  std::size_t end = 0;    ///< index where the excursion stopped growing
+  ChangeDirection direction = ChangeDirection::kDown;
+  double amplitude = 0.0;  ///< x[end] - x[start]
+};
+
+struct CusumOptions {
+  double threshold = 1.0;
+  double drift = 0.001;
+};
+
+struct CusumResult {
+  std::vector<ChangePoint> changes;
+  /// Cumulative positive/negative sums per sample (for plotting, as in
+  /// the paper's Figure 1c lower panel).
+  std::vector<double> g_pos;
+  std::vector<double> g_neg;
+};
+
+/// Runs two-sided CUSUM over x.
+CusumResult cusum_detect(std::span<const double> x, const CusumOptions& opt = {});
+
+/// A change annotated with calendar data, produced from a TimeSeries.
+struct DatedChange {
+  ChangePoint point;
+  util::SimTime start_time = 0;
+  util::SimTime alarm_time = 0;
+  util::SimTime end_time = 0;
+};
+
+/// Runs CUSUM on a series and maps indices to times.
+std::vector<DatedChange> cusum_detect_dated(const util::TimeSeries& series,
+                                            const CusumOptions& opt = {});
+
+}  // namespace diurnal::analysis

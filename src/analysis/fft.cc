@@ -1,0 +1,78 @@
+#include "analysis/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace diurnal::analysis {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& c : data) c /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+  const std::size_t n = next_pow2(std::max<std::size_t>(x.size(), 1));
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = x[i];
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> x) {
+  const auto spec = fft_real(x);
+  std::vector<double> out(spec.size() / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = std::norm(spec[k]);
+  return out;
+}
+
+double goertzel_power(std::span<const double> x, double cycles) noexcept {
+  const std::size_t n = x.size();
+  if (n == 0) return 0.0;
+  const double w = 2.0 * std::numbers::pi * cycles / static_cast<double>(n);
+  const double coeff = 2.0 * std::cos(w);
+  double s_prev = 0.0, s_prev2 = 0.0;
+  for (const double v : x) {
+    const double s = v + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  // |X(f)|^2 = s1^2 + s2^2 - coeff*s1*s2
+  return s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+}
+
+}  // namespace diurnal::analysis

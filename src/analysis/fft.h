@@ -1,0 +1,36 @@
+// Spectral tools for the diurnality test (paper section 2.4).
+//
+// Two complementary paths:
+//  * a radix-2 iterative FFT for power-of-two lengths (used where the
+//    caller controls padding, and by the micro benches), and
+//  * Goertzel evaluation of the DFT at an arbitrary real frequency,
+//    which lets the diurnality test place bins exactly at the 24-hour
+//    frequency and its harmonics for any series length.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace diurnal::analysis {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two (throws std::invalid_argument otherwise).
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// FFT of a real series zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// |X[k]|^2 for k = 0 .. n/2 of the (zero-padded) FFT of x.
+std::vector<double> power_spectrum(std::span<const double> x);
+
+/// Goertzel: squared magnitude of the DFT of x at `cycles` full periods
+/// per series length (need not be integral, but bins are exact when it
+/// is). DC is removed by the caller if desired.
+double goertzel_power(std::span<const double> x, double cycles) noexcept;
+
+/// Next power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n) noexcept;
+
+}  // namespace diurnal::analysis

@@ -1,0 +1,41 @@
+// LOESS: locally weighted regression smoothing (Cleveland 1979), the
+// building block of STL (paper section 2.5).
+//
+// The smoother operates on equally spaced series (x = 0..n-1), supports
+// degree 0 (local mean) and degree 1 (local linear), tricube neighborhood
+// weights, optional robustness weights, evaluation at fractional and
+// out-of-range positions (needed for STL's cycle-subseries extension),
+// and a `jump` parameter that evaluates every jump-th point and linearly
+// interpolates in between (the standard STL speedup).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace diurnal::analysis {
+
+struct LoessOptions {
+  int span = 7;    ///< q: number of neighborhood points (>= 2)
+  int degree = 1;  ///< 0 = local constant, 1 = local linear
+  int jump = 1;    ///< evaluate every jump-th point, interpolate between
+};
+
+/// Smoothed estimate of y at position x0 (x-coordinates are the indices
+/// 0..n-1; x0 may be fractional or slightly out of range).
+/// `robustness` is empty or one weight per point.
+double loess_at(std::span<const double> y, double x0, const LoessOptions& opt,
+                std::span<const double> robustness = {});
+
+/// Smooths the whole series, returning one value per input point.
+std::vector<double> loess_smooth(std::span<const double> y,
+                                 const LoessOptions& opt,
+                                 std::span<const double> robustness = {});
+
+/// Smooths and also extrapolates one position before the first point and
+/// one after the last (returns n + 2 values for positions -1 .. n).
+/// Used by STL's cycle-subseries step.
+std::vector<double> loess_smooth_extended(std::span<const double> y,
+                                          const LoessOptions& opt,
+                                          std::span<const double> robustness = {});
+
+}  // namespace diurnal::analysis

@@ -1,0 +1,68 @@
+// Logistic regression used to select under-probed blocks for additional
+// probing (paper section 3.2.3): the full-block-scan time is modeled from
+// |E(b)| (scanned-address count) and A (expected availability), and any
+// block predicted to need more than 6 hours is scheduled for extra probes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace diurnal::analysis {
+
+struct LogisticOptions {
+  int epochs = 400;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+};
+
+/// A binary logistic-regression model over dense feature vectors.
+/// Features are standardized internally (mean/stddev from fit data).
+class LogisticModel {
+ public:
+  /// Fits with gradient descent.  `features[i]` must all have the same
+  /// dimensionality; labels are 0/1.  Throws on size mismatch.
+  void fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels, const LogisticOptions& opt = {});
+
+  /// Probability of label 1.
+  double predict_proba(std::span<const double> x) const;
+
+  /// Hard decision at the given probability cutoff.
+  bool predict(std::span<const double> x, double cutoff = 0.5) const;
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  double bias() const noexcept { return bias_; }
+  bool fitted() const noexcept { return !weights_.empty(); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  double bias_ = 0.0;
+};
+
+/// Confusion-matrix summary for binary classification.
+struct BinaryMetrics {
+  std::int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double precision() const noexcept {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double recall() const noexcept {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double accuracy() const noexcept {
+    const auto total = tp + fp + tn + fn;
+    return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+  }
+  double false_negative_rate() const noexcept {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(fn) / (tp + fn);
+  }
+};
+
+/// Evaluates a fitted model against labeled data.
+BinaryMetrics evaluate(const LogisticModel& model,
+                       const std::vector<std::vector<double>>& features,
+                       const std::vector<int>& labels, double cutoff = 0.5);
+
+}  // namespace diurnal::analysis

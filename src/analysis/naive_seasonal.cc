@@ -1,0 +1,82 @@
+#include "analysis/naive_seasonal.h"
+
+#include <stdexcept>
+
+namespace diurnal::analysis {
+
+NaiveDecomposition naive_decompose(std::span<const double> y, int period) {
+  const int n = static_cast<int>(y.size());
+  if (period < 2) throw std::invalid_argument("naive_decompose: period >= 2");
+  if (n < 2 * period) {
+    throw std::invalid_argument("naive_decompose: need two periods of data");
+  }
+  NaiveDecomposition out;
+  out.trend.assign(static_cast<std::size_t>(n), 0.0);
+  out.seasonal.assign(static_cast<std::size_t>(n), 0.0);
+  out.residual.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Centered moving average of window `period` (2x(period/2)-style for
+  // even periods: average of two adjacent windows).
+  const int half = period / 2;
+  auto window_mean = [&](int lo, int len) {
+    double s = 0.0;
+    for (int i = lo; i < lo + len; ++i) s += y[static_cast<std::size_t>(i)];
+    return s / len;
+  };
+  int first = half, last = n - 1 - half;
+  for (int i = first; i <= last; ++i) {
+    if (period % 2 == 1) {
+      out.trend[static_cast<std::size_t>(i)] = window_mean(i - half, period);
+    } else {
+      const double a = window_mean(i - half, period);
+      const double b = window_mean(i - half + 1, period);
+      out.trend[static_cast<std::size_t>(i)] = 0.5 * (a + b);
+    }
+  }
+  if (last < first) {  // degenerate; flat trend
+    first = 0;
+    last = n - 1;
+    const double m = window_mean(0, n);
+    for (auto& t : out.trend) t = m;
+  } else {
+    for (int i = 0; i < first; ++i) out.trend[static_cast<std::size_t>(i)] = out.trend[static_cast<std::size_t>(first)];
+    for (int i = last + 1; i < n; ++i) out.trend[static_cast<std::size_t>(i)] = out.trend[static_cast<std::size_t>(last)];
+  }
+
+  // Per-phase means of the detrended series, re-centered to sum to zero.
+  std::vector<double> phase_sum(static_cast<std::size_t>(period), 0.0);
+  std::vector<int> phase_cnt(static_cast<std::size_t>(period), 0);
+  for (int i = 0; i < n; ++i) {
+    phase_sum[static_cast<std::size_t>(i % period)] +=
+        y[static_cast<std::size_t>(i)] - out.trend[static_cast<std::size_t>(i)];
+    ++phase_cnt[static_cast<std::size_t>(i % period)];
+  }
+  double grand = 0.0;
+  for (int ph = 0; ph < period; ++ph) {
+    if (phase_cnt[static_cast<std::size_t>(ph)] > 0) {
+      phase_sum[static_cast<std::size_t>(ph)] /= phase_cnt[static_cast<std::size_t>(ph)];
+    }
+    grand += phase_sum[static_cast<std::size_t>(ph)];
+  }
+  grand /= period;
+  for (int ph = 0; ph < period; ++ph) phase_sum[static_cast<std::size_t>(ph)] -= grand;
+
+  for (int i = 0; i < n; ++i) {
+    out.seasonal[static_cast<std::size_t>(i)] = phase_sum[static_cast<std::size_t>(i % period)];
+    out.residual[static_cast<std::size_t>(i)] =
+        y[static_cast<std::size_t>(i)] - out.trend[static_cast<std::size_t>(i)] -
+        out.seasonal[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+NaiveSeries naive_decompose(const util::TimeSeries& series, int period) {
+  const auto d = naive_decompose(series.span(), period);
+  return NaiveSeries{
+      util::TimeSeries(series.start(), series.step(), d.trend),
+      util::TimeSeries(series.start(), series.step(), d.seasonal),
+      util::TimeSeries(series.start(), series.step(), d.residual),
+  };
+}
+
+}  // namespace diurnal::analysis

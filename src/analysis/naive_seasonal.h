@@ -1,0 +1,34 @@
+// The "naive" seasonality model the paper compared against STL
+// (section 2.5): classical additive decomposition — a centered moving
+// average for the trend, per-phase means of the detrended series for the
+// seasonal component.  Kept as the ablation baseline; STL won because
+// this model is not robust to outliers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/timeseries.h"
+
+namespace diurnal::analysis {
+
+struct NaiveDecomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> residual;
+};
+
+/// Classical additive decomposition with the given period.
+/// The centered-moving-average trend is extended to the series edges by
+/// holding the first/last computable value.  y.size() must be >= 2*period.
+NaiveDecomposition naive_decompose(std::span<const double> y, int period);
+
+/// TimeSeries convenience overload.
+struct NaiveSeries {
+  util::TimeSeries trend;
+  util::TimeSeries seasonal;
+  util::TimeSeries residual;
+};
+NaiveSeries naive_decompose(const util::TimeSeries& series, int period);
+
+}  // namespace diurnal::analysis

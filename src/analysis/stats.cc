@@ -1,0 +1,94 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diurnal::analysis {
+
+double mean(std::span<const double> x) noexcept {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) noexcept {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double ss = 0.0;
+  for (const double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) noexcept { return std::sqrt(variance(x)); }
+
+double median(std::span<const double> x) { return quantile(x, 0.5); }
+
+double quantile(std::span<const double> x, double q) {
+  if (x.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(x.begin(), x.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ecdf_at(std::span<const double> x,
+                            std::span<const double> thresholds) {
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (const double t : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+std::vector<CdfPoint> ecdf(std::span<const double> x, std::size_t max_points) {
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  if (sorted.empty() || max_points == 0) return out;
+  const std::size_t n = sorted.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    // Sample evenly through the sorted values, always including the last.
+    const std::size_t i = (points == 1) ? n - 1 : k * (n - 1) / (points - 1);
+    out.push_back(CdfPoint{sorted[i],
+                           static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+}  // namespace diurnal::analysis

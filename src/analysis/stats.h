@@ -1,0 +1,42 @@
+// Descriptive statistics shared by the analysis pipeline and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace diurnal::analysis {
+
+double mean(std::span<const double> x) noexcept;
+
+/// Population variance (divide by n).
+double variance(std::span<const double> x) noexcept;
+
+/// Population standard deviation.
+double stddev(std::span<const double> x) noexcept;
+
+/// Median; copies and partially sorts. Returns 0 for empty input.
+double median(std::span<const double> x);
+
+/// q-quantile with linear interpolation, q in [0,1].
+double quantile(std::span<const double> x, double q);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Empirical CDF evaluated at the given thresholds: for each t, the
+/// fraction of x <= t.
+std::vector<double> ecdf_at(std::span<const double> x,
+                            std::span<const double> thresholds);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+/// Full empirical CDF (sorted values vs cumulative fraction), thinned to
+/// at most `max_points` evenly spaced points.
+std::vector<CdfPoint> ecdf(std::span<const double> x, std::size_t max_points = 200);
+
+}  // namespace diurnal::analysis

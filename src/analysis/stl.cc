@@ -1,0 +1,168 @@
+#include "analysis/stl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/loess.h"
+#include "analysis/stats.h"
+
+namespace diurnal::analysis {
+
+namespace {
+
+int next_odd(int v) noexcept { return (v % 2 == 0) ? v + 1 : v; }
+
+// Moving average of window m; output size = in.size() - m + 1.
+std::vector<double> moving_average(std::span<const double> in, int m) {
+  std::vector<double> out;
+  if (static_cast<int>(in.size()) < m || m <= 0) return out;
+  out.resize(in.size() - static_cast<std::size_t>(m) + 1);
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) sum += in[static_cast<std::size_t>(i)];
+  out[0] = sum / m;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    sum += in[i + static_cast<std::size_t>(m) - 1] - in[i - 1];
+    out[i] = sum / m;
+  }
+  return out;
+}
+
+}  // namespace
+
+int default_trend_span(int period, int seasonal_span) noexcept {
+  const double denom = 1.0 - 1.5 / static_cast<double>(std::max(seasonal_span, 3));
+  const int v = static_cast<int>(std::ceil(1.5 * period / denom));
+  return next_odd(std::max(v, 3));
+}
+
+StlDecomposition stl_decompose(std::span<const double> y, const StlOptions& opt) {
+  const int n = static_cast<int>(y.size());
+  const int p = opt.period;
+  if (p < 2) throw std::invalid_argument("stl_decompose: period must be >= 2");
+  if (n < 2 * p) {
+    throw std::invalid_argument("stl_decompose: need at least two periods of data");
+  }
+
+  const int n_s = next_odd(std::max(opt.seasonal_span, 7));
+  const int n_t = opt.trend_span > 0 ? next_odd(opt.trend_span)
+                                     : default_trend_span(p, n_s);
+  const int n_l = opt.lowpass_span > 0 ? next_odd(opt.lowpass_span) : next_odd(p);
+
+  auto default_jump = [](int explicit_jump, int span) {
+    if (explicit_jump > 0) return explicit_jump;
+    return std::max(1, span / 10);
+  };
+  const LoessOptions seasonal_loess{n_s, opt.seasonal_degree,
+                                    default_jump(opt.seasonal_jump, n_s)};
+  const LoessOptions trend_loess{n_t, opt.trend_degree,
+                                 default_jump(opt.trend_jump, n_t)};
+  const LoessOptions lowpass_loess{n_l, opt.lowpass_degree,
+                                   default_jump(opt.lowpass_jump, n_l)};
+
+  StlDecomposition out;
+  out.trend.assign(static_cast<std::size_t>(n), 0.0);
+  out.seasonal.assign(static_cast<std::size_t>(n), 0.0);
+  out.residual.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<double> rho;  // robustness weights (empty until outer pass 2)
+  std::vector<double> detrended(static_cast<std::size_t>(n));
+  std::vector<double> extended;  // cycle-subseries output, length n + 2p
+  std::vector<double> deseason(static_cast<std::size_t>(n));
+  std::vector<double> sub, sub_rho, sub_smooth;
+
+  const int outer_passes = std::max(opt.outer_iterations, 0) + 1;
+  for (int outer = 0; outer < outer_passes; ++outer) {
+    for (int inner = 0; inner < std::max(opt.inner_iterations, 1); ++inner) {
+      // Step 1: detrend.
+      for (int i = 0; i < n; ++i) {
+        detrended[static_cast<std::size_t>(i)] =
+            y[static_cast<std::size_t>(i)] - out.trend[static_cast<std::size_t>(i)];
+      }
+      // Step 2: cycle-subseries smoothing, extended one period each way.
+      extended.assign(static_cast<std::size_t>(n + 2 * p), 0.0);
+      for (int phase = 0; phase < p; ++phase) {
+        sub.clear();
+        sub_rho.clear();
+        for (int i = phase; i < n; i += p) {
+          sub.push_back(detrended[static_cast<std::size_t>(i)]);
+          if (!rho.empty()) sub_rho.push_back(rho[static_cast<std::size_t>(i)]);
+        }
+        if (sub.empty()) continue;
+        sub_smooth = loess_smooth_extended(
+            sub, seasonal_loess,
+            sub_rho.empty() ? std::span<const double>{}
+                            : std::span<const double>(sub_rho));
+        // sub_smooth[k] corresponds to subseries position k-1, i.e. full
+        // series index phase + (k-1)*p; with the +p shift of `extended`
+        // that lands at extended[phase + k*p].
+        for (std::size_t k = 0; k < sub_smooth.size(); ++k) {
+          const std::size_t idx = static_cast<std::size_t>(phase) + k * static_cast<std::size_t>(p);
+          if (idx < extended.size()) extended[idx] = sub_smooth[k];
+        }
+      }
+      // Step 3: low-pass filter of the extended seasonal: MA(p), MA(p),
+      // MA(3), then LOESS(n_l).  Output length: n.
+      auto ma1 = moving_average(extended, p);
+      auto ma2 = moving_average(ma1, p);
+      auto ma3 = moving_average(ma2, 3);
+      auto lowpass = loess_smooth(ma3, lowpass_loess);
+      // Step 4: seasonal = extended(middle) - lowpass.
+      for (int i = 0; i < n; ++i) {
+        const double c = extended[static_cast<std::size_t>(i + p)];
+        const double l = (static_cast<std::size_t>(i) < lowpass.size())
+                             ? lowpass[static_cast<std::size_t>(i)]
+                             : 0.0;
+        out.seasonal[static_cast<std::size_t>(i)] = c - l;
+      }
+      // Step 5: deseasonalize.
+      for (int i = 0; i < n; ++i) {
+        deseason[static_cast<std::size_t>(i)] =
+            y[static_cast<std::size_t>(i)] - out.seasonal[static_cast<std::size_t>(i)];
+      }
+      // Step 6: trend smoothing.
+      out.trend = loess_smooth(deseason, trend_loess,
+                               rho.empty() ? std::span<const double>{}
+                                           : std::span<const double>(rho));
+    }
+    // Residuals and (for all but the last pass) robustness weights.
+    for (int i = 0; i < n; ++i) {
+      out.residual[static_cast<std::size_t>(i)] =
+          y[static_cast<std::size_t>(i)] - out.trend[static_cast<std::size_t>(i)] -
+          out.seasonal[static_cast<std::size_t>(i)];
+    }
+    if (outer + 1 < outer_passes) {
+      std::vector<double> abs_r(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        abs_r[static_cast<std::size_t>(i)] =
+            std::abs(out.residual[static_cast<std::size_t>(i)]);
+      }
+      const double h = 6.0 * median(abs_r);
+      rho.assign(static_cast<std::size_t>(n), 1.0);
+      if (h > 0.0) {
+        for (int i = 0; i < n; ++i) {
+          const double u = abs_r[static_cast<std::size_t>(i)] / h;
+          if (u >= 1.0) {
+            rho[static_cast<std::size_t>(i)] = 0.0;
+          } else {
+            const double t = 1.0 - u * u;
+            rho[static_cast<std::size_t>(i)] = t * t;  // bisquare
+          }
+        }
+      }
+    }
+  }
+  out.robustness = std::move(rho);
+  return out;
+}
+
+StlSeries stl_decompose(const util::TimeSeries& series, const StlOptions& opt) {
+  const auto d = stl_decompose(series.span(), opt);
+  return StlSeries{
+      util::TimeSeries(series.start(), series.step(), d.trend),
+      util::TimeSeries(series.start(), series.step(), d.seasonal),
+      util::TimeSeries(series.start(), series.step(), d.residual),
+  };
+}
+
+}  // namespace diurnal::analysis

@@ -1,0 +1,39 @@
+// Daily-swing classification (paper section 2.4).
+//
+// The daily swing is the max-minus-min of the active-address count over
+// each midnight-to-midnight UTC day.  A day is "wide" when the swing is
+// at least `min_swing` addresses (paper: 5, tolerating a few uncorrelated
+// machine restarts); a block has a *persistent* wide swing when some
+// 7-consecutive-day window contains at least 4 wide days (tolerating
+// weekends and 3-day holiday weekends).
+#pragma once
+
+#include <vector>
+
+#include "util/timeseries.h"
+
+namespace diurnal::analysis {
+
+struct SwingOptions {
+  double min_swing = 5.0;    ///< addresses/day for a "wide" day
+  int window_days = 7;       ///< work-week window
+  int min_wide_days = 4;     ///< wide days required within the window
+};
+
+struct SwingResult {
+  bool wide = false;          ///< persistent wide swing present
+  int wide_days = 0;          ///< total days with a wide swing
+  int total_days = 0;         ///< days with data
+  double max_daily_swing = 0; ///< largest single-day swing
+  int best_window_wide = 0;   ///< most wide days in any window
+};
+
+/// Classifies the swing of an active-address series.
+SwingResult classify_swing(const util::TimeSeries& series,
+                           const SwingOptions& opt = {});
+
+/// Same classification from precomputed per-day stats.
+SwingResult classify_swing(const std::vector<util::DayStats>& days,
+                           const SwingOptions& opt = {});
+
+}  // namespace diurnal::analysis

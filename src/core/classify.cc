@@ -1,0 +1,30 @@
+#include "core/classify.h"
+
+namespace diurnal::core {
+
+BlockClassification classify_block(const recon::ReconResult& recon,
+                                   const ClassifierOptions& opt) {
+  BlockClassification c;
+  c.responsive = recon.responsive;
+  if (!c.responsive) return c;
+  c.diurnal_detail = analysis::test_diurnal(recon.counts, opt.diurnal);
+  c.diurnal = c.diurnal_detail.diurnal;
+  c.swing_detail = analysis::classify_swing(recon.counts, opt.swing);
+  c.wide_swing = c.swing_detail.wide;
+  c.change_sensitive = c.diurnal && c.wide_swing;
+  return c;
+}
+
+void FunnelCounts::add(const BlockClassification& c) noexcept {
+  ++routed;
+  if (!c.responsive) {
+    ++not_responsive;
+    return;
+  }
+  ++responsive;
+  if (c.diurnal) ++diurnal; else ++not_diurnal;
+  if (c.wide_swing) ++wide_swing; else ++narrow_swing;
+  if (c.change_sensitive) ++change_sensitive; else ++not_change_sensitive;
+}
+
+}  // namespace diurnal::core

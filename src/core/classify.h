@@ -1,0 +1,51 @@
+// Change-sensitive block discovery (paper section 2.4, the Table 2
+// funnel): a block is change-sensitive when it is responsive, shows a
+// diurnal pattern (FFT energy at 24h and harmonics), and sustains a
+// persistent wide daily swing (>= 5 addresses, >= 4 of 7 consecutive
+// days for at least one week).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diurnal_test.h"
+#include "analysis/swing.h"
+#include "recon/reconstruct.h"
+
+namespace diurnal::core {
+
+struct ClassifierOptions {
+  analysis::DiurnalOptions diurnal{};
+  analysis::SwingOptions swing{};
+};
+
+/// One block's position in the Table 2 funnel.
+struct BlockClassification {
+  bool responsive = false;
+  bool diurnal = false;
+  bool wide_swing = false;
+  bool change_sensitive = false;  ///< diurnal && wide_swing
+
+  analysis::DiurnalResult diurnal_detail{};
+  analysis::SwingResult swing_detail{};
+};
+
+/// Classifies a reconstructed block.
+BlockClassification classify_block(const recon::ReconResult& recon,
+                                   const ClassifierOptions& opt = {});
+
+/// Table 2 row: counts of blocks at each funnel stage.
+struct FunnelCounts {
+  std::int64_t routed = 0;
+  std::int64_t not_responsive = 0;
+  std::int64_t responsive = 0;
+  std::int64_t not_diurnal = 0;
+  std::int64_t diurnal = 0;
+  std::int64_t narrow_swing = 0;
+  std::int64_t wide_swing = 0;
+  std::int64_t not_change_sensitive = 0;
+  std::int64_t change_sensitive = 0;
+
+  void add(const BlockClassification& c) noexcept;
+};
+
+}  // namespace diurnal::core

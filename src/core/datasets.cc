@@ -1,0 +1,102 @@
+#include "core/datasets.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace diurnal::core {
+
+using util::Date;
+
+probe::ProbeWindow DatasetSpec::window() const {
+  const util::SimTime t0 = util::time_of(start);
+  return probe::ProbeWindow{
+      t0, t0 + static_cast<util::SimTime>(duration_weeks) * 7 *
+                   util::kSecondsPerDay};
+}
+
+std::vector<probe::ObserverSpec> DatasetSpec::observers() const {
+  return probe::sites_from_string(sites);
+}
+
+namespace {
+
+std::string archive_name(const Date& start, char site, bool survey) {
+  if (survey) {
+    return "internet_address_survey_reprobing_it89" + std::string(1, site) +
+           "-20200219";
+  }
+  // Quarterly adaptive archives: a38 = 2019q4, a39 = 2020q1, ...
+  const int quarter = (start.year - 2019) * 4 + (start.month - 1) / 3;
+  const int a = 35 + quarter;  // a38 at 2019q4 (quarter index 3)
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "internet_outage_adaptive_a%d%c-%04d%02d%02d",
+                a, site, start.year, start.month, start.day);
+  return buf;
+}
+
+DatasetSpec make(const std::string& abbr, Date start, int weeks,
+                 std::string sites, bool survey = false) {
+  DatasetSpec d;
+  d.abbr = abbr;
+  d.start = start;
+  d.duration_weeks = weeks;
+  d.sites = std::move(sites);
+  d.survey = survey;
+  d.full_name = archive_name(start, d.sites.size() == 1 ? d.sites[0] : '*',
+                             survey);
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& table6_datasets() {
+  static const std::vector<DatasetSpec> all = [] {
+    std::vector<DatasetSpec> v;
+    auto quarterly = [&](int year, int month, const char* abbr_prefix,
+                         const std::string& site_codes) {
+      for (const char s : site_codes) {
+        v.push_back(make(std::string(abbr_prefix) + "-" + s,
+                         Date{year, month, 1}, 12, std::string(1, s)));
+      }
+    };
+    quarterly(2019, 10, "2019q4", "w");
+    quarterly(2020, 1, "2020q1", "ejnw");
+    quarterly(2020, 4, "2020q2", "ejnw");
+    quarterly(2023, 1, "2023q1", "cegnw");
+    quarterly(2023, 4, "2023q2", "cegnw");
+    v.push_back(make("2020it89-w", Date{2020, 2, 19}, 2, "w", true));
+    return v;
+  }();
+  return all;
+}
+
+DatasetSpec dataset(const std::string& abbr) {
+  const auto dash = abbr.rfind('-');
+  if (dash == std::string::npos || dash + 1 >= abbr.size()) {
+    throw std::invalid_argument("dataset: malformed abbreviation '" + abbr + "'");
+  }
+  const std::string period = abbr.substr(0, dash);
+  const std::string sites = abbr.substr(dash + 1);
+
+  if (period == "2020it89") {
+    return make(abbr, Date{2020, 2, 19}, 2, sites, true);
+  }
+  int year = 0;
+  char kind = 0;
+  int num = 0;
+  if (std::sscanf(period.c_str(), "%4d%c%d", &year, &kind, &num) != 3) {
+    throw std::invalid_argument("dataset: malformed period '" + period + "'");
+  }
+  if (kind == 'q' && num >= 1 && num <= 4) {
+    return make(abbr, Date{year, (num - 1) * 3 + 1, 1}, 12, sites);
+  }
+  if (kind == 'h' && num == 1) {
+    return make(abbr, Date{year, 1, 1}, 24, sites);
+  }
+  if (kind == 'm' && num == 1) {
+    return make(abbr, Date{year, 1, 1}, 4, sites);
+  }
+  throw std::invalid_argument("dataset: unknown period '" + period + "'");
+}
+
+}  // namespace diurnal::core

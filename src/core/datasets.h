@@ -1,0 +1,40 @@
+// Dataset registry (paper Table 6 and the derived analysis windows of
+// Table 2): every experiment names its input as `<period>-<sites>`,
+// e.g. "2020q1-w", "2020m1-ejnw", "2020it89-w" (the survey ground
+// truth).  In the real system these map to Trinocular/survey archives;
+// here they define the probing window and observer set over the
+// synthetic world.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "probe/observer.h"
+#include "probe/prober.h"
+#include "util/date.h"
+
+namespace diurnal::core {
+
+struct DatasetSpec {
+  std::string abbr;       ///< e.g. "2020q1-w"
+  std::string full_name;  ///< archive name, e.g. internet_outage_adaptive_a39w-20200101
+  util::Date start{};
+  int duration_weeks = 12;
+  std::string sites;   ///< observer codes, e.g. "ejnw"
+  bool survey = false; ///< survey-style probing (all addresses, all rounds)
+
+  probe::ProbeWindow window() const;
+  std::vector<probe::ObserverSpec> observers() const;
+};
+
+/// The paper's Table 6: the existing, publicly available archives.
+const std::vector<DatasetSpec>& table6_datasets();
+
+/// Resolves an analysis-window abbreviation like "2020h1-ejnw",
+/// "2020m1-w", "2019q4-w", or "2020it89-w".  Periods: YYYYq1..q4
+/// (12 weeks), YYYYh1 (24 weeks), YYYYm1 (first 4 weeks of the year),
+/// and 2020it89 (the 2-week survey starting 2020-02-19).
+/// Throws std::invalid_argument for unknown forms.
+DatasetSpec dataset(const std::string& abbr);
+
+}  // namespace diurnal::core

@@ -1,0 +1,216 @@
+#include "core/detect.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "analysis/naive_seasonal.h"
+#include "analysis/stats.h"
+
+namespace diurnal::core {
+
+std::vector<DetectedChange> DetectionResult::activity_changes() const {
+  std::vector<DetectedChange> out;
+  for (const auto& c : changes) {
+    if (c.counted()) out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+// Marks closely paired opposite-direction changes as outage/renumbering
+// artifacts (section 2.6): an outage is a down change followed shortly
+// by a comparable up change; renumbering produces the same signature.
+void filter_outage_pairs(std::vector<DetectedChange>& changes,
+                         const DetectorOptions& opt) {
+  for (std::size_t i = 0; i + 1 < changes.size(); ++i) {
+    auto& a = changes[i];
+    auto& b = changes[i + 1];
+    if (a.direction == b.direction) continue;
+    if (b.alarm - a.alarm > opt.outage_pair_window) continue;
+    const double amp_a = std::abs(a.amplitude);
+    const double amp_b = std::abs(b.amplitude);
+    if (std::min(amp_a, amp_b) >=
+        opt.outage_amplitude_ratio * std::max(amp_a, amp_b)) {
+      a.filtered_as_outage = true;
+      b.filtered_as_outage = true;
+    }
+  }
+}
+
+// Crude raw-counts outage detector: maximal runs where the count falls
+// below a fraction of the block's typical level, bounded on both sides
+// and short enough to be an outage rather than a behaviour change.
+struct RawInterval {
+  util::SimTime start;
+  util::SimTime end;
+};
+
+std::vector<RawInterval> detect_raw_outages(const util::TimeSeries& counts,
+                                            const DetectorOptions& opt) {
+  std::vector<RawInterval> out;
+  if (counts.size() < 8 || counts.step() <= 0 ||
+      counts.step() > util::kSecondsPerHour * 6) {
+    return out;
+  }
+
+  // Per-hour-of-week median profile: a work-week block is *normally*
+  // quiet at night and on weekends, so only hours that are typically
+  // active can evidence an outage.  (Real outage detectors have the
+  // same blind spot.)  Needs a few weeks of data to be meaningful.
+  auto hour_of_week = [&](std::size_t i) {
+    const util::SimTime t = counts.time_at(i);
+    return static_cast<std::size_t>(util::weekday_of(t)) * 24 +
+           static_cast<std::size_t>(util::hour_of_day(t));
+  };
+  if (counts.size() < 4 * 168 * static_cast<std::size_t>(
+                          util::kSecondsPerHour / counts.step() + 1) &&
+      counts.end_time() - counts.start() < 28 * util::kSecondsPerDay) {
+    return out;
+  }
+  std::array<std::vector<double>, 168> by_hour;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    by_hour[hour_of_week(i)].push_back(counts[i]);
+  }
+  std::array<double, 168> profile{};
+  bool any_active_hour = false;
+  for (std::size_t h = 0; h < 168; ++h) {
+    profile[h] = analysis::median(by_hour[h]);
+    any_active_hour |= profile[h] >= 2.0;
+  }
+  if (!any_active_hour) return out;
+
+  // A run of "anomalously low at a normally-active hour" samples, with
+  // non-informative (normally quiet) hours bridged, bounded on both
+  // sides, and short enough to be an outage rather than a behaviour
+  // change.
+  enum class Sample { kLow, kNormal, kUninformative };
+  // A blackout means *nobody* answers — not even the always-on
+  // infrastructure that keeps replying through holidays and WFH.  This
+  // is what distinguishes an outage dip from a human-activity dip.
+  auto classify = [&](std::size_t i) {
+    const double med = profile[hour_of_week(i)];
+    if (med < 2.0) return Sample::kUninformative;
+    return counts[i] < std::max(1.0, opt.outage_level_fraction * med * 0.5)
+               ? Sample::kLow
+               : Sample::kNormal;
+  };
+
+  bool in_run = false;
+  bool bounded_left = false;
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    switch (classify(i)) {
+      case Sample::kUninformative:
+        break;  // bridges a run, neither starts nor ends one
+      case Sample::kLow:
+        if (!in_run) {
+          in_run = true;
+          run_start = i;
+        }
+        break;
+      case Sample::kNormal:
+        if (in_run) {
+          in_run = false;
+          const util::SimTime t0 = counts.time_at(run_start);
+          const util::SimTime t1 = counts.time_at(i);
+          if (bounded_left && t1 - t0 <= opt.max_outage_duration) {
+            out.push_back(RawInterval{t0, t1});
+          }
+        }
+        bounded_left = true;
+        break;
+    }
+  }
+  // A run still open at the series end is unbounded: not a confirmed
+  // outage (it could be WFH in progress).
+  return out;
+}
+
+}  // namespace
+
+DetectionResult detect_changes(const util::TimeSeries& counts,
+                               const DetectorOptions& opt) {
+  DetectionResult res;
+  if (counts.empty() || counts.step() <= 0) return res;
+
+  const int period = static_cast<int>(opt.period_seconds / counts.step());
+  if (period < 2 ||
+      counts.size() < static_cast<std::size_t>(2 * period)) {
+    return res;
+  }
+
+  analysis::StlDecomposition dec;
+  if (opt.trend_model == TrendModel::kNaive) {
+    const auto naive = analysis::naive_decompose(counts.span(), period);
+    dec.trend = naive.trend;
+    dec.seasonal = naive.seasonal;
+    dec.residual = naive.residual;
+  } else {
+    analysis::StlOptions stl = opt.stl;
+    stl.period = period;
+    if (stl.trend_span == 0) {
+      // The Cleveland default (~2 periods) over-smooths step changes,
+      // diluting their measured amplitude and delaying the alarm; a
+      // span of ~1.25 periods keeps the trend responsive while still
+      // suppressing population-churn wiggles.
+      stl.trend_span = period + period / 4 + 1;
+    }
+    dec = analysis::stl_decompose(counts.span(), stl);
+  }
+
+  res.trend = util::TimeSeries(counts.start(), counts.step(), dec.trend);
+  res.seasonal = util::TimeSeries(counts.start(), counts.step(), dec.seasonal);
+  res.residual = util::TimeSeries(counts.start(), counts.step(), dec.residual);
+  res.normalized_trend = res.trend.zscore();
+
+  auto cus = analysis::cusum_detect(res.normalized_trend.span(), opt.cusum);
+  res.cusum_pos = std::move(cus.g_pos);
+  res.cusum_neg = std::move(cus.g_neg);
+
+  res.changes.reserve(cus.changes.size());
+  for (const auto& cp : cus.changes) {
+    DetectedChange c;
+    c.start = res.normalized_trend.time_at(cp.start);
+    c.alarm = res.normalized_trend.time_at(cp.alarm);
+    c.end = res.normalized_trend.time_at(cp.end);
+    c.direction = cp.direction;
+    c.amplitude = cp.amplitude;
+    c.amplitude_addresses = dec.trend[cp.end] - dec.trend[cp.start];
+    c.filtered_small =
+        std::abs(c.amplitude_addresses) < opt.min_change_addresses;
+    res.changes.push_back(c);
+  }
+  filter_outage_pairs(res.changes, opt);
+
+  // Cross-check against raw-counts outages (section 2.6): an adjacent
+  // down/up pair is an outage artifact when a short, bounded blackout of
+  // the raw counts *begins during the down excursion and ends during the
+  // up excursion* — i.e. the blackout explains the pair.  Anchoring both
+  // ends keeps week-long holidays (low runs > max_outage_duration) and
+  // changes that merely sit near an unrelated one-hour outage alive.
+  const auto outages = detect_raw_outages(counts, opt);
+  if (!outages.empty()) {
+    const std::int64_t margin = util::kSecondsPerDay;
+    for (std::size_t i = 0; i + 1 < res.changes.size(); ++i) {
+      auto& a = res.changes[i];
+      auto& b = res.changes[i + 1];
+      if (a.direction != analysis::ChangeDirection::kDown ||
+          b.direction != analysis::ChangeDirection::kUp) {
+        continue;
+      }
+      for (const auto& o : outages) {
+        if (o.start >= a.start - margin && o.start <= a.end + margin &&
+            o.end >= b.start - margin && o.end <= b.end + margin) {
+          a.filtered_as_outage = true;
+          b.filtered_as_outage = true;
+          break;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace diurnal::core

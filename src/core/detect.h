@@ -1,0 +1,85 @@
+// Change detection in block usage (paper sections 2.5, 2.6):
+// STL trend extraction, z-score normalization, two-sided CUSUM
+// (threshold 1, drift 0.001), and filtering of closely paired down/up
+// changes (outages and ISP renumbering).
+#pragma once
+
+#include <vector>
+
+#include "analysis/cusum.h"
+#include "analysis/stl.h"
+#include "util/timeseries.h"
+
+namespace diurnal::core {
+
+/// Which seasonality model extracts the trend (section 2.5 compared
+/// both and adopted STL for robustness; the naive model remains as the
+/// ablation baseline).
+enum class TrendModel { kStl, kNaive };
+
+struct DetectorOptions {
+  /// Seasonal period in seconds (default one week: the STL seasonal
+  /// component then models daily and weekly structure, as in Figure 1b).
+  std::int64_t period_seconds = 7 * util::kSecondsPerDay;
+  TrendModel trend_model = TrendModel::kStl;
+  analysis::StlOptions stl{};              ///< period is derived per series
+  analysis::CusumOptions cusum{1.0, 0.001};
+  /// A down change whose alarm is followed by an opposite-direction
+  /// alarm within this window (with comparable amplitude) is an
+  /// outage/renumbering pair (section 2.6: outages are minutes to a few
+  /// hours, so their recovery alarms land within days, while week-long
+  /// holidays recover much later and survive the filter).
+  std::int64_t outage_pair_window = 3 * util::kSecondsPerDay;
+  double outage_amplitude_ratio = 0.5;
+  /// Raw-counts outage cross-check (section 2.6: "we can filter out
+  /// such events by comparing them with outage detections"): a bounded
+  /// dip of the raw counts below `outage_level_fraction` of the block's
+  /// typical level, lasting at most `max_outage_duration`, is an outage;
+  /// changes overlapping it are discarded.  Longer low periods (week-
+  /// long holidays, WFH) are not outages.
+  std::int64_t max_outage_duration = 48 * util::kSecondsPerHour;
+  double outage_level_fraction = 0.25;
+  /// Minimum |trend change| in addresses for a counted change: the
+  /// z-score normalization gives every block unit variance, so without a
+  /// physical floor the CUSUM chatters on blocks whose trend wiggles by
+  /// a device or two.
+  double min_change_addresses = 1.5;
+};
+
+/// One detected change, annotated with times and the outage filter.
+struct DetectedChange {
+  util::SimTime start = 0;
+  util::SimTime alarm = 0;
+  util::SimTime end = 0;
+  analysis::ChangeDirection direction = analysis::ChangeDirection::kDown;
+  double amplitude = 0.0;            ///< in z-score units
+  double amplitude_addresses = 0.0;  ///< raw trend change in addresses
+  bool filtered_as_outage = false;   ///< part of a paired down/up excursion
+  bool filtered_small = false;       ///< below the address-count floor
+
+  /// True when the change counts as a human-activity change.
+  bool counted() const noexcept {
+    return !filtered_as_outage && !filtered_small;
+  }
+};
+
+struct DetectionResult {
+  util::TimeSeries trend;             ///< STL trend
+  util::TimeSeries seasonal;          ///< STL seasonal component
+  util::TimeSeries residual;          ///< STL residual
+  util::TimeSeries normalized_trend;  ///< z-scored trend fed to CUSUM
+  std::vector<double> cusum_pos;      ///< cumulative positive sums
+  std::vector<double> cusum_neg;      ///< cumulative negative sums
+  std::vector<DetectedChange> changes;
+
+  /// Changes attributed to human activity (outage pairs removed).
+  std::vector<DetectedChange> activity_changes() const;
+};
+
+/// Runs the full trend-extraction + change-detection stage on an
+/// active-address count series.  Series shorter than two periods yield
+/// an empty result.
+DetectionResult detect_changes(const util::TimeSeries& counts,
+                               const DetectorOptions& opt = {});
+
+}  // namespace diurnal::core

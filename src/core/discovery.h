@@ -1,0 +1,52 @@
+// Event discovery from aggregated change detections (the paper's
+// section-4 workflow, automated): scan every gridcell's daily series of
+// downward changes for days whose count spikes far above that cell's
+// own baseline, and merge consecutive spike days into one event.  This
+// is how the paper surfaced the Delhi riots, the Indiana WFH onset, and
+// the 2023 Spring Festival without prior knowledge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+
+namespace diurnal::core {
+
+struct DiscoveryOptions {
+  /// Minimum change-sensitive blocks for a cell to be considered
+  /// (the paper's representation threshold).
+  int min_blocks = 5;
+  /// Detections of one regional event spread over several days (blocks
+  /// adopt orders at different dates, and trend smoothing jitters the
+  /// alarm), so spikes are evaluated on a sliding window of this many
+  /// days.
+  int window_days = 5;
+  /// A spike window must involve at least this fraction of the cell's
+  /// change-sensitive blocks...
+  double min_fraction = 0.05;
+  /// ...and at least this many blocks.
+  int min_count = 2;
+  /// ...and exceed `spike_factor` times the cell's 75th-percentile
+  /// windowed down-count.
+  double spike_factor = 3.0;
+};
+
+/// One discovered regional event.
+struct DiscoveredEvent {
+  geo::GridCell cell{};
+  util::SimTime start = 0;  ///< first day of the first spiking window
+  util::SimTime end = 0;    ///< one past the last day of the last window
+  int peak_blocks = 0;      ///< most blocks down within one window
+  double peak_fraction = 0.0;
+  int cell_blocks = 0;      ///< change-sensitive blocks in the cell
+
+  std::string to_string() const;
+};
+
+/// Scans the aggregation for regional events, ordered by descending
+/// peak fraction.
+std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
+                                             const DiscoveryOptions& opt = {});
+
+}  // namespace diurnal::core

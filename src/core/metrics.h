@@ -1,0 +1,90 @@
+// End-to-end validation metrics (paper sections 3.6 and 3.7):
+// sampled change-sensitive blocks are scored against ground-truth
+// work-from-home dates; a detection counts when a downward CUSUM change
+// lands within +-4 days of the documented date.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "sim/world.h"
+
+namespace diurnal::core {
+
+/// Verdict for one sampled block (mirrors the rows of Table 5).
+enum class BlockVerdict {
+  kNoWfhInWindow,        ///< no documented WFH date in the quarter
+  kTruePositive,         ///< CUSUM down-change within the match window
+  kFalsePositiveOutage,  ///< detection near the date, but truth is an outage
+  kFalseNegative,        ///< truth changed, CUSUM missed it
+  kCusumFarFromWfh,      ///< detections exist, none near the WFH date
+  kNoCusum,              ///< no detections at all (and no truth change)
+};
+
+std::string_view to_string(BlockVerdict v) noexcept;
+
+struct ValidationConfig {
+  std::int64_t match_window = 4 * util::kSecondsPerDay;  ///< +-4 days
+  int sample_size = 50;
+  std::uint64_t seed = 17;
+  /// Analysis window used to decide whether a country's WFH date falls
+  /// inside the studied quarter; both 0 disables the check.
+  probe::ProbeWindow window{};
+};
+
+struct SampledBlock {
+  net::BlockId id{};
+  std::string country;
+  BlockVerdict verdict = BlockVerdict::kNoCusum;
+  std::int64_t detection_offset_days = 0;  ///< alarm - truth, when matched
+};
+
+/// Table 5-style tally over a random sample of change-sensitive blocks.
+struct SampleValidation {
+  std::vector<SampledBlock> blocks;
+  int total = 0;
+  int no_wfh_in_window = 0;
+  int wfh_in_window = 0;
+  int cusum_near_wfh = 0;   ///< detections within the window (TP + FP)
+  int true_positive = 0;
+  int false_positive = 0;   ///< apparent outages near the date
+  int no_cusum_near = 0;
+  int false_negative = 0;   ///< visually detectable but missed
+  int cusum_far = 0;
+  int no_cusum = 0;
+
+  double precision() const noexcept {
+    const int denom = true_positive + false_positive;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+  }
+  double recall() const noexcept {
+    const int denom = true_positive + false_negative;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+  }
+};
+
+/// Randomly samples change-sensitive blocks from a fleet result and
+/// scores their detections against the world's ground truth.
+SampleValidation validate_sample(const sim::World& world,
+                                 const FleetResult& fleet,
+                                 const ValidationConfig& config = {});
+
+/// Location-level validation (section 3.7): all sampled blocks of one
+/// gridcell, plus the day with the most simultaneous down-changes.
+struct LocationValidation {
+  geo::GridCell cell{};
+  std::string label;
+  SampleValidation sample;
+  util::SimTime peak_day = 0;       ///< day with most down-changes
+  int peak_down_count = 0;
+  double peak_down_fraction = 0.0;  ///< of sampled blocks
+};
+
+LocationValidation validate_location(const sim::World& world,
+                                     const FleetResult& fleet,
+                                     geo::GridCell cell,
+                                     const ValidationConfig& config = {});
+
+}  // namespace diurnal::core

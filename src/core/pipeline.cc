@@ -1,0 +1,99 @@
+#include "core/pipeline.h"
+
+#include <atomic>
+#include <thread>
+
+namespace diurnal::core {
+
+namespace {
+
+recon::BlockObservationConfig observation_config(const FleetConfig& cfg,
+                                                 const DatasetSpec& ds) {
+  recon::BlockObservationConfig oc;
+  oc.observers = ds.observers();
+  oc.loss = probe::LossModel(cfg.loss);
+  oc.window = ds.window();
+  oc.prober.kind =
+      ds.survey ? probe::ProberKind::kSurvey : probe::ProberKind::kTrinocular;
+  oc.one_loss_repair = cfg.one_loss_repair;
+  oc.additional_observations = cfg.additional_observations;
+  oc.recon = cfg.recon;
+  return oc;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
+  const auto& blocks = world.blocks();
+  FleetResult result;
+  result.outcomes.resize(blocks.size());
+
+  const DatasetSpec& classify_ds =
+      config.classify_dataset ? *config.classify_dataset : config.dataset;
+  const bool same_window =
+      !config.classify_dataset ||
+      (classify_ds.window().start == config.dataset.window().start &&
+       classify_ds.window().end == config.dataset.window().end &&
+       classify_ds.sites == config.dataset.sites &&
+       classify_ds.survey == config.dataset.survey);
+
+  const auto classify_oc = observation_config(config, classify_ds);
+  const auto detect_oc = observation_config(config, config.dataset);
+
+  unsigned n_threads = config.threads > 0
+                           ? static_cast<unsigned>(config.threads)
+                           : std::max(1u, std::thread::hardware_concurrency());
+  n_threads = std::min<unsigned>(n_threads, 64);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= blocks.size()) return;
+      const auto& block = blocks[i];
+      BlockOutcome& out = result.outcomes[i];
+      out.id = block.id;
+      if (block.eb_count == 0) continue;  // never responds
+
+      const auto classify_recon =
+          recon::observe_and_reconstruct(block, classify_oc);
+      out.cls = classify_block(classify_recon, config.classifier);
+      if (!out.cls.change_sensitive || !config.run_detection) continue;
+
+      if (same_window) {
+        out.changes =
+            detect_changes(classify_recon.counts, config.detector).changes;
+      } else {
+        const auto detect_recon =
+            recon::observe_and_reconstruct(block, detect_oc);
+        out.changes =
+            detect_changes(detect_recon.counts, config.detector).changes;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  for (const auto& out : result.outcomes) result.funnel.add(out.cls);
+  return result;
+}
+
+ChangeAggregator aggregate_changes(const sim::World& world,
+                                   const FleetResult& result,
+                                   const FleetConfig& config) {
+  const auto window = config.dataset.window();
+  ChangeAggregator agg(window.start, window.end);
+  const auto& blocks = world.blocks();
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const auto& out = result.outcomes[i];
+    if (!out.cls.change_sensitive) continue;
+    const auto& b = blocks[i];
+    agg.add_block(b.cell(), geo::countries()[b.country].continent, out.changes);
+  }
+  return agg;
+}
+
+}  // namespace diurnal::core

@@ -1,0 +1,65 @@
+// End-to-end fleet pipeline: probe -> repair -> merge -> reconstruct ->
+// classify -> extract trend -> detect changes, over every block of a
+// world (paper Table 1), parallelized across blocks.
+//
+// Following section 3.4, classification can run on a short window (the
+// paper uses 2020m1, before Covid skews the baseline) while detection
+// runs over a longer one (2020h1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/classify.h"
+#include "core/datasets.h"
+#include "core/detect.h"
+#include "probe/loss_model.h"
+#include "recon/block_recon.h"
+#include "sim/world.h"
+
+namespace diurnal::core {
+
+struct FleetConfig {
+  /// Detection dataset: probing window and observer set.
+  DatasetSpec dataset;
+  /// Classification dataset; defaults to `dataset` when unset.
+  std::optional<DatasetSpec> classify_dataset;
+
+  probe::LossModelConfig loss{};
+  bool one_loss_repair = true;
+  bool additional_observations = false;
+
+  ClassifierOptions classifier{};
+  DetectorOptions detector{};
+  recon::ReconOptions recon{};  ///< hourly sampling by default
+
+  /// Run change detection on change-sensitive blocks.
+  bool run_detection = true;
+
+  int threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct BlockOutcome {
+  net::BlockId id{};
+  BlockClassification cls{};
+  /// Detected changes (only populated for change-sensitive blocks when
+  /// run_detection is set).
+  std::vector<DetectedChange> changes;
+};
+
+struct FleetResult {
+  FunnelCounts funnel{};                 ///< the Table 2 row
+  std::vector<BlockOutcome> outcomes;    ///< aligned with world.blocks()
+};
+
+/// Runs the pipeline over every block of the world.
+FleetResult run_fleet(const sim::World& world, const FleetConfig& config);
+
+/// Aggregates a fleet result's activity changes by gridcell/continent
+/// over the detection window.
+ChangeAggregator aggregate_changes(const sim::World& world,
+                                   const FleetResult& result,
+                                   const FleetConfig& config);
+
+}  // namespace diurnal::core

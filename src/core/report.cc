@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace diurnal::core {
+
+using util::CsvWriter;
+
+void write_funnel_csv(const std::string& path, const FunnelCounts& f) {
+  CsvWriter csv(path);
+  csv.write_row({"stage", "blocks"});
+  csv.write_row({"routed", std::to_string(f.routed)});
+  csv.write_row({"not_responsive", std::to_string(f.not_responsive)});
+  csv.write_row({"responsive", std::to_string(f.responsive)});
+  csv.write_row({"not_diurnal", std::to_string(f.not_diurnal)});
+  csv.write_row({"diurnal", std::to_string(f.diurnal)});
+  csv.write_row({"narrow_swing", std::to_string(f.narrow_swing)});
+  csv.write_row({"wide_swing", std::to_string(f.wide_swing)});
+  csv.write_row({"not_change_sensitive", std::to_string(f.not_change_sensitive)});
+  csv.write_row({"change_sensitive", std::to_string(f.change_sensitive)});
+}
+
+void write_blocks_csv(const std::string& path, const sim::World& world,
+                      const FleetResult& fleet) {
+  CsvWriter csv(path);
+  csv.write_row({"block", "gridcell", "responsive", "diurnal", "wide_swing",
+                 "change_sensitive", "down_changes", "up_changes"});
+  const auto& blocks = world.blocks();
+  for (std::size_t i = 0; i < fleet.outcomes.size(); ++i) {
+    const auto& out = fleet.outcomes[i];
+    int down = 0, up = 0;
+    for (const auto& c : out.changes) {
+      if (!c.counted()) continue;
+      (c.direction == analysis::ChangeDirection::kDown ? down : up) += 1;
+    }
+    csv.write_row({out.id.to_string(), blocks[i].cell().to_string(),
+                   std::to_string(out.cls.responsive),
+                   std::to_string(out.cls.diurnal),
+                   std::to_string(out.cls.wide_swing),
+                   std::to_string(out.cls.change_sensitive),
+                   std::to_string(down), std::to_string(up)});
+  }
+}
+
+void write_changes_csv(const std::string& path, const FleetResult& fleet) {
+  CsvWriter csv(path);
+  csv.write_row({"block", "direction", "start", "alarm", "end", "amplitude_z",
+                 "amplitude_addresses", "filtered_outage", "filtered_small"});
+  for (const auto& out : fleet.outcomes) {
+    for (const auto& c : out.changes) {
+      csv.write_row({
+          out.id.to_string(),
+          c.direction == analysis::ChangeDirection::kDown ? "down" : "up",
+          util::to_string(util::date_of(c.start)),
+          util::to_string(util::date_of(c.alarm)),
+          util::to_string(util::date_of(c.end)),
+          util::fmt(c.amplitude, 4),
+          util::fmt(c.amplitude_addresses, 2),
+          std::to_string(c.filtered_as_outage),
+          std::to_string(c.filtered_small),
+      });
+    }
+  }
+}
+
+void write_cells_csv(const std::string& path, const ChangeAggregator& agg) {
+  CsvWriter csv(path);
+  csv.write_row({"gridcell", "date", "down", "up", "blocks"});
+  for (const auto& [cell, series] : agg.by_cell()) {
+    for (std::size_t d = 0; d < agg.days(); ++d) {
+      if (series.down[d] == 0 && series.up[d] == 0) continue;
+      const auto date = util::date_of(
+          agg.start() + static_cast<util::SimTime>(d) * util::kSecondsPerDay);
+      csv.write_row({cell.to_string(), util::to_string(date),
+                     std::to_string(series.down[d]),
+                     std::to_string(series.up[d]),
+                     std::to_string(series.change_sensitive_blocks)});
+    }
+  }
+}
+
+ReportPaths write_report(const std::string& prefix, const sim::World& world,
+                         const FleetResult& fleet,
+                         const ChangeAggregator& agg) {
+  ReportPaths paths{prefix + "funnel.csv", prefix + "blocks.csv",
+                    prefix + "changes.csv", prefix + "cells.csv"};
+  write_funnel_csv(paths.funnel, fleet.funnel);
+  write_blocks_csv(paths.blocks, world, fleet);
+  write_changes_csv(paths.changes, fleet);
+  write_cells_csv(paths.cells, agg);
+  return paths;
+}
+
+}  // namespace diurnal::core

@@ -1,0 +1,40 @@
+// Result export (paper section 2.9: the authors publish their detection
+// data and interactive visualizations).  Writes fleet results as CSV:
+// the classification funnel, per-block outcomes with detected changes,
+// and per-gridcell daily down/up series, suitable for external plotting
+// or diffing between runs.
+#pragma once
+
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/pipeline.h"
+
+namespace diurnal::core {
+
+/// Writes `<prefix>funnel.csv`: one row per funnel stage.
+void write_funnel_csv(const std::string& path, const FunnelCounts& funnel);
+
+/// Writes one row per block: id, responsive/diurnal/wide/change-
+/// sensitive flags, and the number of (counted) down/up changes.
+void write_blocks_csv(const std::string& path, const sim::World& world,
+                      const FleetResult& fleet);
+
+/// Writes one row per detected change of every change-sensitive block:
+/// block, direction, start/alarm/end dates, amplitudes, filter flags.
+void write_changes_csv(const std::string& path, const FleetResult& fleet);
+
+/// Writes per-gridcell daily series: cell, date, down, up, blocks.
+void write_cells_csv(const std::string& path, const ChangeAggregator& agg);
+
+/// Convenience: writes all four files under `prefix` (e.g. "out/run1-").
+struct ReportPaths {
+  std::string funnel;
+  std::string blocks;
+  std::string changes;
+  std::string cells;
+};
+ReportPaths write_report(const std::string& prefix, const sim::World& world,
+                         const FleetResult& fleet, const ChangeAggregator& agg);
+
+}  // namespace diurnal::core

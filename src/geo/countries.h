@@ -1,0 +1,69 @@
+// Country and continent registry for the synthetic world.
+//
+// The paper's coverage analysis (sections 3.5, 4.1) groups blocks by
+// country and continent; our world generator draws block locations from
+// this registry with weights that mimic the paper's observed skew
+// (change-sensitive blocks concentrated in Asia and Eastern Europe,
+// always-on NAT hiding most of North America and Western Europe).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/date.h"
+
+namespace diurnal::geo {
+
+enum class Continent {
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kSouthAmerica,
+  kAfrica,
+  kOceania,
+};
+
+std::string_view to_string(Continent c) noexcept;
+
+/// A population center blocks can be placed around.
+struct City {
+  std::string name;
+  double lat = 0.0;
+  double lon = 0.0;
+  double weight = 1.0;  ///< relative share of the country's blocks
+};
+
+/// Static facts about a country used by the world generator.
+struct CountryInfo {
+  std::string code;  ///< ISO-3166-ish two-letter code
+  std::string name;
+  Continent continent = Continent::kAsia;
+  int utc_offset_hours = 0;  ///< representative timezone
+  std::vector<City> cities;
+
+  /// Relative share of the world's responsive /24 blocks.
+  double block_weight = 1.0;
+
+  /// Fraction of this country's responsive blocks whose end hosts sit on
+  /// public, dynamically used IPv4 (diurnal-visible); the rest hide
+  /// behind always-on NAT/servers/firewalls.  High in Asia and Eastern
+  /// Europe, low in North America and Western Europe (section 3.5).
+  double diurnal_visible_fraction = 0.2;
+
+  /// Documented start of Covid-19 work-from-home / lockdown in 2020h1
+  /// (from the news sources cited in section 3.6), if in-window.
+  std::optional<util::Date> wfh_2020;
+};
+
+/// The full registry (stable order; index is a compact country id).
+const std::vector<CountryInfo>& countries();
+
+/// Looks up by code; throws std::out_of_range for unknown codes.
+const CountryInfo& country(std::string_view code);
+
+/// Index of a country code within countries(); throws if unknown.
+std::size_t country_index(std::string_view code);
+
+}  // namespace diurnal::geo

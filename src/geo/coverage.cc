@@ -1,0 +1,55 @@
+#include "geo/coverage.h"
+
+namespace diurnal::geo {
+
+CoverageSummary summarize_coverage(const CellCountMap& cells,
+                                   std::int64_t observe_threshold,
+                                   std::int64_t represent_threshold) {
+  CoverageSummary s;
+  for (const auto& [cell, c] : cells) {
+    (void)cell;
+    ++s.cells_total;
+    s.cs_blocks_total += c.change_sensitive;
+    s.resp_blocks_total += c.responsive;
+    if (c.responsive < observe_threshold) {
+      ++s.cells_under_observed;
+      s.cs_blocks_under_observed += c.change_sensitive;
+      continue;
+    }
+    ++s.cells_observed;
+    s.cs_blocks_observed += c.change_sensitive;
+    s.resp_blocks_observed += c.responsive;
+    if (c.change_sensitive >= represent_threshold) {
+      ++s.cells_represented;
+      s.cs_blocks_represented += c.change_sensitive;
+      s.resp_blocks_represented += c.responsive;
+    } else {
+      ++s.cells_under_represented;
+    }
+  }
+  return s;
+}
+
+std::vector<ThresholdPoint> sweep_thresholds(const CellCountMap& cells,
+                                             std::int64_t max_threshold) {
+  std::vector<ThresholdPoint> out;
+  const double total = static_cast<double>(cells.size());
+  for (std::int64_t t = 0; t <= max_threshold; ++t) {
+    ThresholdPoint p;
+    p.threshold = t;
+    if (total > 0) {
+      std::int64_t obs = 0, rep = 0;
+      for (const auto& [cell, c] : cells) {
+        (void)cell;
+        if (c.responsive >= t) ++obs;
+        if (c.change_sensitive >= t) ++rep;
+      }
+      p.observed_cell_fraction = obs / total;
+      p.represented_cell_fraction = rep / total;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace diurnal::geo

@@ -1,0 +1,80 @@
+// Geographic coverage accounting (paper Table 4, Figure 14, Appendix D).
+//
+// A gridcell is *observed* when it holds at least `observe_threshold`
+// ping-responsive blocks, and *represented* when it holds at least
+// `represent_threshold` change-sensitive blocks.  Coverage is reported
+// both by unique gridcells and block-weighted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/gridcell.h"
+
+namespace diurnal::geo {
+
+/// Per-gridcell block tallies.
+struct CellCounts {
+  std::int64_t responsive = 0;        ///< ping-responsive blocks
+  std::int64_t change_sensitive = 0;  ///< change-sensitive blocks
+};
+
+/// The Table 4 summary.
+struct CoverageSummary {
+  std::int64_t cells_total = 0;
+  std::int64_t cells_under_observed = 0;
+  std::int64_t cells_observed = 0;
+  std::int64_t cells_under_represented = 0;
+  std::int64_t cells_represented = 0;
+
+  std::int64_t cs_blocks_total = 0;
+  std::int64_t cs_blocks_under_observed = 0;
+  std::int64_t cs_blocks_observed = 0;
+  std::int64_t cs_blocks_represented = 0;
+
+  std::int64_t resp_blocks_total = 0;
+  std::int64_t resp_blocks_observed = 0;
+  std::int64_t resp_blocks_represented = 0;
+
+  /// Fraction of observed cells that are represented (paper: 60%).
+  double represented_cell_fraction() const noexcept {
+    return cells_observed == 0
+               ? 0.0
+               : static_cast<double>(cells_represented) / cells_observed;
+  }
+  /// Block-weighted coverage: change-sensitive blocks in represented
+  /// cells (paper: 99.7%).
+  double cs_block_fraction() const noexcept {
+    return cs_blocks_observed == 0
+               ? 0.0
+               : static_cast<double>(cs_blocks_represented) / cs_blocks_observed;
+  }
+  /// Block-weighted coverage: ping-responsive blocks in represented
+  /// cells (paper: 98.5%).
+  double resp_block_fraction() const noexcept {
+    return resp_blocks_observed == 0
+               ? 0.0
+               : static_cast<double>(resp_blocks_represented) / resp_blocks_observed;
+  }
+};
+
+using CellCountMap = std::unordered_map<GridCell, CellCounts>;
+
+/// Computes the Table 4 summary from per-cell counts.
+CoverageSummary summarize_coverage(const CellCountMap& cells,
+                                   std::int64_t observe_threshold = 5,
+                                   std::int64_t represent_threshold = 5);
+
+/// One point of the Appendix-D threshold sweep (Figure 14).
+struct ThresholdPoint {
+  std::int64_t threshold = 0;
+  double observed_cell_fraction = 0.0;     ///< cells with >= t responsive blocks
+  double represented_cell_fraction = 0.0;  ///< cells with >= t change-sensitive blocks
+};
+
+/// Sweeps the observation/representation thresholds 0..max_threshold.
+std::vector<ThresholdPoint> sweep_thresholds(const CellCountMap& cells,
+                                             std::int64_t max_threshold = 100);
+
+}  // namespace diurnal::geo

@@ -1,0 +1,30 @@
+#include "geo/gridcell.h"
+
+#include <cmath>
+
+namespace diurnal::geo {
+
+GridCell GridCell::of(double latitude, double longitude) noexcept {
+  // Normalize longitude into [-180, 180).
+  while (longitude >= 180.0) longitude -= 360.0;
+  while (longitude < -180.0) longitude += 360.0;
+  if (latitude > 89.999) latitude = 89.999;
+  if (latitude < -90.0) latitude = -90.0;
+  return GridCell{static_cast<std::int16_t>(std::floor(latitude / 2.0)),
+                  static_cast<std::int16_t>(std::floor(longitude / 2.0))};
+}
+
+std::string GridCell::to_string() const {
+  const int la = static_cast<int>(lat());
+  const int lo = static_cast<int>(lon());
+  std::string out = "(";
+  out += std::to_string(std::abs(la));
+  out += la >= 0 ? "N" : "S";
+  out += ",";
+  out += std::to_string(std::abs(lo));
+  out += lo >= 0 ? "E" : "W";
+  out += ")";
+  return out;
+}
+
+}  // namespace diurnal::geo

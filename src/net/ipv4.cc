@@ -1,0 +1,38 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace diurnal::net {
+
+std::string IPv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+IPv4Addr IPv4Addr::parse(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n = std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("IPv4Addr::parse: malformed address '" + s + "'");
+  }
+  return IPv4Addr((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+std::string BlockId::to_string() const {
+  return base().to_string().substr(0, base().to_string().rfind('.')) + ".0/24";
+}
+
+BlockId BlockId::parse(const std::string& s) {
+  const std::size_t slash = s.find('/');
+  const std::string addr_part = slash == std::string::npos ? s : s.substr(0, slash);
+  if (slash != std::string::npos && s.substr(slash) != "/24") {
+    throw std::invalid_argument("BlockId::parse: only /24 supported: '" + s + "'");
+  }
+  return containing(IPv4Addr::parse(addr_part));
+}
+
+}  // namespace diurnal::net

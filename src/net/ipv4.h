@@ -1,0 +1,93 @@
+// IPv4 addresses and /24 blocks.
+//
+// The paper's unit of analysis is the /24 block (256 adjacent IPv4
+// addresses); individual addresses only matter inside reconstruction,
+// which is also where the privacy boundary sits (Appendix A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace diurnal::net {
+
+/// An IPv4 address as a host-order 32-bit integer.
+class IPv4Addr {
+ public:
+  constexpr IPv4Addr() = default;
+  constexpr explicit IPv4Addr(std::uint32_t value) noexcept : value_(value) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Last octet (position within the /24).
+  constexpr std::uint8_t last_octet() const noexcept {
+    return static_cast<std::uint8_t>(value_ & 0xFF);
+  }
+
+  /// Dotted-quad string.
+  std::string to_string() const;
+
+  /// Parses dotted-quad; throws std::invalid_argument on malformed input.
+  static IPv4Addr parse(const std::string& s);
+
+  friend constexpr bool operator==(IPv4Addr, IPv4Addr) = default;
+  friend constexpr auto operator<=>(IPv4Addr, IPv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Identifier of a /24 block: the top 24 bits of its prefix.
+/// BlockId b covers addresses [b << 8, (b << 8) + 255].
+class BlockId {
+ public:
+  constexpr BlockId() = default;
+  constexpr explicit BlockId(std::uint32_t id) noexcept : id_(id) {}
+
+  /// The /24 containing an address.
+  static constexpr BlockId containing(IPv4Addr a) noexcept {
+    return BlockId(a.value() >> 8);
+  }
+
+  constexpr std::uint32_t id() const noexcept { return id_; }
+
+  /// The i-th address in the block (i in [0, 255]).
+  constexpr IPv4Addr address(std::uint8_t i) const noexcept {
+    return IPv4Addr((id_ << 8) | i);
+  }
+
+  /// First address of the block.
+  constexpr IPv4Addr base() const noexcept { return address(0); }
+
+  /// CIDR string, e.g. "128.9.144.0/24".
+  std::string to_string() const;
+
+  /// Parses "a.b.c.0/24" or "a.b.c.d" (taking the containing /24).
+  static BlockId parse(const std::string& s);
+
+  friend constexpr bool operator==(BlockId, BlockId) = default;
+  friend constexpr auto operator<=>(BlockId, BlockId) = default;
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+/// Number of addresses in a /24.
+inline constexpr int kBlockSize = 256;
+
+}  // namespace diurnal::net
+
+template <>
+struct std::hash<diurnal::net::BlockId> {
+  std::size_t operator()(diurnal::net::BlockId b) const noexcept {
+    return std::hash<std::uint32_t>{}(b.id());
+  }
+};
+
+template <>
+struct std::hash<diurnal::net::IPv4Addr> {
+  std::size_t operator()(diurnal::net::IPv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,58 @@
+#include "probe/additional_selection.h"
+
+#include <stdexcept>
+
+namespace diurnal::probe {
+
+namespace {
+
+std::vector<double> features_of(int eb_count, double availability) {
+  return {static_cast<double>(eb_count), availability};
+}
+
+}  // namespace
+
+void AdditionalProbingSelector::fit(
+    const std::vector<BlockScanSample>& samples,
+    const AdditionalSelectionOptions& opt) {
+  if (samples.empty()) {
+    throw std::invalid_argument("AdditionalProbingSelector::fit: no samples");
+  }
+  opt_ = opt;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(features_of(s.eb_count, s.availability));
+    y.push_back(s.observed_fbs_hours > opt.fbs_goal_hours ? 1 : 0);
+  }
+  model_.fit(x, y, opt.fit);
+}
+
+bool AdditionalProbingSelector::should_probe(int eb_count,
+                                             double availability) const {
+  if (!fitted()) {
+    throw std::logic_error("AdditionalProbingSelector: not fitted");
+  }
+  if (eb_count < opt_.min_eb || availability < opt_.min_availability) {
+    return false;  // always near the origin of Figure 5
+  }
+  return model_.predict(features_of(eb_count, availability));
+}
+
+analysis::BinaryMetrics AdditionalProbingSelector::evaluate(
+    const std::vector<BlockScanSample>& samples) const {
+  analysis::BinaryMetrics m;
+  for (const auto& s : samples) {
+    const bool pred = should_probe(s.eb_count, s.availability);
+    const bool truth = s.observed_fbs_hours > opt_.fbs_goal_hours;
+    if (pred && truth) ++m.tp;
+    else if (pred && !truth) ++m.fp;
+    else if (!pred && truth) ++m.fn;
+    else ++m.tn;
+  }
+  return m;
+}
+
+}  // namespace diurnal::probe

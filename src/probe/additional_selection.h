@@ -1,0 +1,60 @@
+// Selection of under-probed blocks for additional observations (paper
+// section 3.2.3): a logistic-regression model over |E(b)| and the
+// availability A predicts which blocks cannot be fully scanned within
+// six hours by the regular fleet; those blocks get the dedicated
+// additional-observations prober (section 2.8).
+//
+// The paper fits the model on experimentally observed full-block-scan
+// times of a 5k random sample, discards blocks with |E(b)| < 32 or
+// A < 0.05 (always near the origin), reports a 0.5% false-negative
+// rate, and selects 1.8M of 5.2M responsive blocks.
+#pragma once
+
+#include <vector>
+
+#include "analysis/logistic.h"
+#include "net/ipv4.h"
+#include "util/date.h"
+
+namespace diurnal::probe {
+
+struct AdditionalSelectionOptions {
+  double fbs_goal_hours = 6.0;  ///< the section-2.8 full-scan target
+  int min_eb = 32;              ///< discard tiny blocks
+  double min_availability = 0.05;  ///< discard idle blocks
+  analysis::LogisticOptions fit{};
+};
+
+/// One training/selection observation for a block.
+struct BlockScanSample {
+  net::BlockId id{};
+  int eb_count = 0;
+  double availability = 0.0;      ///< long-term response rate of E(b)
+  double observed_fbs_hours = 0.0;  ///< measured full-block-scan time
+};
+
+/// The fitted selector.
+class AdditionalProbingSelector {
+ public:
+  /// Fits the FBS-time model from measured samples.  Throws
+  /// std::invalid_argument when `samples` is empty.
+  void fit(const std::vector<BlockScanSample>& samples,
+           const AdditionalSelectionOptions& opt = {});
+
+  /// True when the block should receive additional probing: predicted
+  /// FBS above the goal, and not excluded as tiny/idle.
+  bool should_probe(int eb_count, double availability) const;
+
+  /// Model quality against labeled samples (label: FBS > goal).
+  analysis::BinaryMetrics evaluate(
+      const std::vector<BlockScanSample>& samples) const;
+
+  const analysis::LogisticModel& model() const noexcept { return model_; }
+  bool fitted() const noexcept { return model_.fitted(); }
+
+ private:
+  analysis::LogisticModel model_;
+  AdditionalSelectionOptions opt_{};
+};
+
+}  // namespace diurnal::probe

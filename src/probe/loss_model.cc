@@ -1,0 +1,43 @@
+#include "probe/loss_model.h"
+
+#include "geo/countries.h"
+#include "util/rng.h"
+
+namespace diurnal::probe {
+
+LossModel::LossModel(LossModelConfig config) noexcept : config_(config) {}
+
+bool LossModel::path_congested(const ObserverSpec& obs,
+                               const sim::BlockProfile& block) const noexcept {
+  if (!config_.enable_congestion) return false;
+  if (obs.code != config_.congested_observer) return false;
+  const auto& code = geo::countries()[block.country].code;
+  if (code != "CN" && code != "MA") return false;
+  const std::uint64_t h =
+      util::derive_seed(config_.seed, block.id.id(),
+                        static_cast<std::uint64_t>(obs.code));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 <
+         config_.congested_destination_fraction;
+}
+
+double LossModel::loss_rate(const ObserverSpec& obs,
+                            const sim::BlockProfile& block,
+                            util::SimTime t) const noexcept {
+  double rate = config_.base_loss;
+  if (path_congested(obs, block)) {
+    // Congestion follows the destination's local busy hours.
+    const util::SimTime local =
+        t + static_cast<util::SimTime>(block.tz_offset_hours) * 3600;
+    std::int64_t sec = local % util::kSecondsPerDay;
+    if (sec < 0) sec += util::kSecondsPerDay;
+    const int hour = static_cast<int>(sec / 3600);
+    double busy = 0.15;
+    if (hour >= 19 && hour <= 23) busy = 1.0;
+    else if (hour >= 15) busy = 0.5;
+    else if (hour >= 9) busy = 0.3;
+    rate += config_.congested_peak_loss * busy;
+  }
+  return rate;
+}
+
+}  // namespace diurnal::probe

@@ -1,0 +1,45 @@
+#include "probe/observer.h"
+
+#include <stdexcept>
+
+namespace diurnal::probe {
+
+const std::vector<ObserverSpec>& trinocular_sites() {
+  static const std::vector<ObserverSpec> sites = [] {
+    std::vector<ObserverSpec> v;
+    const util::SimTime fault_start = util::time_of(2020, 1, 1);
+    const util::SimTime fault_end = util::time_of(2020, 7, 1);
+    v.push_back({'c', "Fort Collins, Colorado", 95, fault_start, fault_end});
+    v.push_back({'e', "ISI East, Washington DC", 213, 0, 0});
+    v.push_back({'g', "Athens, Greece", 331, fault_start, fault_end});
+    v.push_back({'j', "Keio University, Tokyo", 449, 0, 0});
+    v.push_back({'n', "Utrecht, Netherlands", 41, 0, 0});
+    v.push_back({'w', "ISI West, Los Angeles", 562, 0, 0});
+    return v;
+  }();
+  return sites;
+}
+
+const ObserverSpec& site(char code) {
+  for (const auto& s : trinocular_sites()) {
+    if (s.code == code) return s;
+  }
+  if (code == 'x') {
+    static const ObserverSpec extra = additional_observer();
+    return extra;
+  }
+  throw std::out_of_range(std::string("unknown observer site: ") + code);
+}
+
+std::vector<ObserverSpec> sites_from_string(const std::string& codes) {
+  std::vector<ObserverSpec> out;
+  out.reserve(codes.size());
+  for (const char c : codes) out.push_back(site(c));
+  return out;
+}
+
+ObserverSpec additional_observer() {
+  return ObserverSpec{'x', "additional observations (section 2.8)", 137, 0, 0};
+}
+
+}  // namespace diurnal::probe

@@ -1,0 +1,47 @@
+// Observer sites (paper section 2.2): six geographically distributed
+// vantage points probing the same targets in the same order, started
+// independently and therefore out of phase.  Sites c and g developed
+// hardware problems in 2020 and are discarded by the observer-health
+// check (section 2.7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+
+namespace diurnal::probe {
+
+/// One probing site.
+struct ObserverSpec {
+  char code = 'w';       ///< paper site code (c/e/g/j/n/w), 'x' = additional
+  std::string location;  ///< human-readable site location
+  util::SimTime phase = 0;  ///< start offset within the 11-minute round
+
+  /// Hardware fault window (both 0 when healthy): inside it, this
+  /// observer's results are corrupted (random flips) as happened to
+  /// sites c and g in 2020.
+  util::SimTime fault_start = 0;
+  util::SimTime fault_end = 0;
+
+  bool faulty_at(util::SimTime t) const noexcept {
+    return fault_end > fault_start && t >= fault_start && t < fault_end;
+  }
+};
+
+/// The six Trinocular sites with the paper's locations; phases are
+/// deterministic and distinct.  Sites c and g carry their 2020 fault
+/// windows.
+const std::vector<ObserverSpec>& trinocular_sites();
+
+/// Looks up a site by code letter; throws std::out_of_range if unknown.
+const ObserverSpec& site(char code);
+
+/// Parses a site-string like "ejnw" into observer specs.
+std::vector<ObserverSpec> sites_from_string(const std::string& codes);
+
+/// The dedicated additional-observations site (section 2.8).
+ObserverSpec additional_observer();
+
+}  // namespace diurnal::probe

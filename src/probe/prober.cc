@@ -1,0 +1,197 @@
+#include "probe/prober.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace diurnal::probe {
+
+using util::SimTime;
+
+int quarter_index(SimTime t) noexcept {
+  const util::Date d = util::date_of(t);
+  return (d.year - 2019) * 4 + (d.month - 1) / 3;
+}
+
+SimTime next_quarter_start(SimTime t) noexcept {
+  const util::Date d = util::date_of(t);
+  int qmonth = ((d.month - 1) / 3) * 3 + 1 + 3;
+  int year = d.year;
+  if (qmonth > 12) {
+    qmonth -= 12;
+    ++year;
+  }
+  return util::time_of(year, qmonth, 1);
+}
+
+int additional_probes_per_round(int eb_count) noexcept {
+  // |E(b)| addresses in 6 hours of 11-minute rounds; at most one probe
+  // per 88 seconds (8 per round).
+  const double per_round = static_cast<double>(eb_count) /
+                           (6.0 * 60.0 / 11.0);
+  return std::clamp(static_cast<int>(std::ceil(per_round)), 1, 8);
+}
+
+namespace {
+
+// Per-quarter pseudorandom target permutation, shared by all observers.
+void build_order(const sim::BlockProfile& block, std::uint64_t order_seed,
+                 int quarter, std::vector<std::uint8_t>& order) {
+  const int n = block.eb_count;
+  order.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  util::Xoshiro256 rng(util::derive_seed(order_seed, block.id.id(),
+                                         static_cast<std::uint64_t>(quarter)));
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+  }
+}
+
+// Deterministic per-probe uniform in [0,1).
+inline double probe_uniform(std::uint64_t seed, std::uint32_t block,
+                            std::uint64_t t, std::uint32_t addr,
+                            std::uint32_t salt) noexcept {
+  const std::uint64_t h = util::derive_seed(
+      seed, (static_cast<std::uint64_t>(block) << 9) | addr, t, salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ObservationVec probe_block(const sim::BlockProfile& block,
+                           const ObserverSpec& observer, const LossModel& loss,
+                           ProbeWindow window, const ProberConfig& config) {
+  ObservationVec out;
+  const int eb = block.eb_count;
+  if (eb <= 0 || window.end <= window.start) return out;
+
+  // Pre-size: survey probes all addresses every round; trinocular
+  // averages a handful.
+  const auto rounds = static_cast<std::size_t>(
+      (window.end - window.start) / util::kRoundSeconds + 1);
+  switch (config.kind) {
+    case ProberKind::kSurvey:
+      out.reserve(rounds * static_cast<std::size_t>(eb));
+      break;
+    case ProberKind::kAdditional:
+      out.reserve(rounds * static_cast<std::size_t>(
+                               additional_probes_per_round(eb)));
+      break;
+    case ProberKind::kTrinocular:
+      out.reserve(rounds * 3);
+      break;
+  }
+
+  std::vector<std::uint8_t> order;
+  int quarter = quarter_index(window.start);
+  build_order(block, config.order_seed, quarter, order);
+  SimTime quarter_end = next_quarter_start(window.start);
+
+  // Each observer starts independently: its cursor begins at a
+  // deterministic offset in the shared order.
+  std::size_t cursor =
+      util::derive_seed(config.order_seed, block.id.id(),
+                        static_cast<std::uint64_t>(observer.code)) %
+      static_cast<std::size_t>(eb);
+
+  const std::uint32_t obs_salt = static_cast<std::uint32_t>(observer.code);
+
+  // Trinocular's adaptive rate (sections 2.2/3.1): while the block is
+  // believed up, a round sends only a couple of probes (a non-reply from
+  // one address of a partly-used block is weak evidence, so probing
+  // stops); only when positives stop arriving for several rounds does
+  // the prober escalate toward its 16-probe budget to decide whether the
+  // block went down.  This is what makes full scans of large blocks take
+  // hours (the 256-round worst case of section 3.1).
+  int rounds_since_positive = 0;
+
+  for (SimTime t = window.start + observer.phase; t < window.end;
+       t += util::kRoundSeconds) {
+    if (t >= quarter_end) {
+      quarter = quarter_index(t);
+      build_order(block, config.order_seed, quarter, order);
+      quarter_end = next_quarter_start(t);
+    }
+    int budget = 0;
+    switch (config.kind) {
+      case ProberKind::kSurvey:
+        budget = eb;
+        break;
+      case ProberKind::kAdditional:
+        budget = std::min(eb, additional_probes_per_round(eb));
+        break;
+      case ProberKind::kTrinocular: {
+        int belief_budget;
+        if (rounds_since_positive == 0) {
+          belief_budget = 2;  // block confidently up
+        } else if (rounds_since_positive <= 3) {
+          belief_budget = 4;  // getting suspicious
+        } else {
+          belief_budget = config.max_probes_per_round;  // confirm outage
+        }
+        budget = std::min(eb, belief_budget);
+        break;
+      }
+    }
+    bool round_positive = false;
+    for (int j = 0; j < budget; ++j) {
+      const std::uint8_t addr = order[cursor];
+      cursor = (cursor + 1) % static_cast<std::size_t>(eb);
+      const SimTime probe_time = t + 2 * j;  // probes pace through the round
+
+      bool up = sim::address_active(block, addr, probe_time);
+      if (up) {
+        const double p = loss.loss_rate(observer, block, probe_time);
+        if (p > 0.0 &&
+            probe_uniform(config.loss_seed, block.id.id(),
+                          static_cast<std::uint64_t>(probe_time), addr,
+                          obs_salt) < p) {
+          up = false;  // probe or reply lost
+        }
+      }
+      if (observer.faulty_at(probe_time) &&
+          probe_uniform(config.loss_seed ^ 0xFA17ULL, block.id.id(),
+                        static_cast<std::uint64_t>(probe_time), addr,
+                        obs_salt) < config.fault_flip_prob) {
+        up = !up;  // hardware fault corrupts the result
+      }
+
+      out.push_back(Observation{
+          static_cast<std::uint32_t>(probe_time - window.start), addr, up});
+      round_positive |= up;
+      if (config.kind == ProberKind::kTrinocular && up) break;
+    }
+    if (config.kind == ProberKind::kTrinocular) {
+      rounds_since_positive = round_positive ? 0 : rounds_since_positive + 1;
+    }
+  }
+  return out;
+}
+
+ObservationVec merge_observations(std::vector<ObservationVec> streams) {
+  // Drop empties, then pairwise-merge (few streams, large vectors).
+  std::erase_if(streams, [](const ObservationVec& v) { return v.empty(); });
+  if (streams.empty()) return {};
+  while (streams.size() > 1) {
+    std::vector<ObservationVec> next;
+    next.reserve((streams.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < streams.size(); i += 2) {
+      ObservationVec merged;
+      merged.resize(streams[i].size() + streams[i + 1].size());
+      std::merge(streams[i].begin(), streams[i].end(), streams[i + 1].begin(),
+                 streams[i + 1].end(), merged.begin(),
+                 [](const Observation& a, const Observation& b) {
+                   return a.rel_time < b.rel_time;
+                 });
+      next.push_back(std::move(merged));
+    }
+    if (streams.size() % 2 == 1) next.push_back(std::move(streams.back()));
+    streams = std::move(next);
+  }
+  return std::move(streams.front());
+}
+
+}  // namespace diurnal::probe

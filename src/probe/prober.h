@@ -1,0 +1,78 @@
+// Probing engines (paper sections 2.2, 2.8).
+//
+//  * TrinocularProber: 11-minute rounds, targets in a pseudorandom order
+//    fixed per quarter, 1..16 probes per round stopping at the first
+//    positive reply (this adaptive stop is why full, always-responsive
+//    blocks refresh slowly — section 3.1's 256-round worst case).
+//  * Survey prober: every target every round (the it89w-style ground
+//    truth of section 3.2).
+//  * Additional-observations prober: |E(b)|/32.7 probes per round, max 8,
+//    not stopping on positive replies, guaranteeing a 6-hour full-block
+//    scan when combined with the fleet (section 2.8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/loss_model.h"
+#include "probe/observer.h"
+#include "sim/block_profile.h"
+
+namespace diurnal::probe {
+
+/// One probe result for a single target address.
+struct Observation {
+  std::uint32_t rel_time = 0;  ///< seconds since the window start
+  std::uint8_t addr = 0;       ///< target index within E(b)
+  bool up = false;             ///< positive reply received
+};
+
+using ObservationVec = std::vector<Observation>;
+
+enum class ProberKind : std::uint8_t {
+  kTrinocular,
+  kSurvey,
+  kAdditional,
+};
+
+/// Probing window [start, end).
+struct ProbeWindow {
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+};
+
+struct ProberConfig {
+  ProberKind kind = ProberKind::kTrinocular;
+  int max_probes_per_round = 16;
+  /// Seed of the per-quarter pseudorandom probe order (shared by all
+  /// observers, as in the real system).
+  std::uint64_t order_seed = 0x08DE8ULL;
+  /// Seed for per-probe loss draws (distinct per observer code).
+  std::uint64_t loss_seed = 77;
+  /// Probability that a probe result is corrupted inside an observer's
+  /// hardware-fault window.
+  double fault_flip_prob = 0.35;
+};
+
+/// Probes one block from one observer over a window.  Returns the
+/// time-ordered observations (empty for blocks with no targets).
+ObservationVec probe_block(const sim::BlockProfile& block,
+                           const ObserverSpec& observer, const LossModel& loss,
+                           ProbeWindow window, const ProberConfig& config = {});
+
+/// Merges per-observer streams into one stream ordered by time.
+ObservationVec merge_observations(std::vector<ObservationVec> streams);
+
+/// Number of probes per round the additional-observations prober sends
+/// for a given target-list size (section 3.2.3: |E(b)|/(6*60/11), capped
+/// at 8 = one probe per 88 seconds).
+int additional_probes_per_round(int eb_count) noexcept;
+
+/// Calendar quarter index of a simulation time (2019q4 = 0, 2020q1 = 1,
+/// ...); the probe order reshuffles at each quarter boundary.
+int quarter_index(util::SimTime t) noexcept;
+
+/// First instant of the quarter after t.
+util::SimTime next_quarter_start(util::SimTime t) noexcept;
+
+}  // namespace diurnal::probe

@@ -1,0 +1,53 @@
+#include "recon/block_recon.h"
+
+#include "recon/repair.h"
+
+namespace diurnal::recon {
+
+namespace {
+
+std::vector<probe::ObservationVec> collect_streams(
+    const sim::BlockProfile& block, const BlockObservationConfig& config) {
+  std::vector<probe::ObservationVec> streams;
+  streams.reserve(config.observers.size() + 1);
+  for (const auto& obs : config.observers) {
+    auto stream =
+        probe::probe_block(block, obs, config.loss, config.window, config.prober);
+    if (config.one_loss_repair) one_loss_repair(stream);
+    streams.push_back(std::move(stream));
+  }
+  if (config.additional_observations) {
+    probe::ProberConfig extra_cfg = config.prober;
+    extra_cfg.kind = probe::ProberKind::kAdditional;
+    auto stream = probe::probe_block(block, probe::additional_observer(),
+                                     config.loss, config.window, extra_cfg);
+    if (config.one_loss_repair) one_loss_repair(stream);
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+}  // namespace
+
+ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
+                                    const BlockObservationConfig& config) {
+  auto merged = probe::merge_observations(collect_streams(block, config));
+  return reconstruct(merged, block.eb_count, config.window, config.recon);
+}
+
+MultiReconResult observe_and_reconstruct_detailed(
+    const sim::BlockProfile& block, const BlockObservationConfig& config) {
+  MultiReconResult out;
+  auto streams = collect_streams(block, config);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const char code = i < config.observers.size() ? config.observers[i].code : 'x';
+    out.per_observer.push_back(PerObserverRecon{
+        code, reconstruct(streams[i], block.eb_count, config.window,
+                          config.recon)});
+  }
+  auto merged = probe::merge_observations(std::move(streams));
+  out.combined = reconstruct(merged, block.eb_count, config.window, config.recon);
+  return out;
+}
+
+}  // namespace diurnal::recon

@@ -1,0 +1,81 @@
+#include "recon/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.h"
+#include "probe/prober.h"
+#include "recon/repair.h"
+#include "util/rng.h"
+
+namespace diurnal::recon {
+
+std::vector<ObserverHealth> check_observers(
+    const sim::World& world, const std::vector<probe::ObserverSpec>& observers,
+    const HealthCheckConfig& config) {
+  // Sample responsive blocks deterministically.
+  std::vector<const sim::BlockProfile*> sample;
+  util::Xoshiro256 rng(config.seed);
+  const auto& blocks = world.blocks();
+  std::size_t attempts = 0;
+  while (static_cast<int>(sample.size()) < config.sample_blocks &&
+         attempts < blocks.size() * 4) {
+    ++attempts;
+    const auto& b = blocks[rng.below(blocks.size())];
+    if (b.eb_count >= 8) sample.push_back(&b);
+  }
+
+  // Per-(observer, block) reply rates.  A symmetric corruption barely
+  // moves an observer's *average* rate (flips cancel near rate 0.5), so
+  // health is judged by per-block disagreement with the other sites.
+  std::vector<std::vector<double>> rates(
+      observers.size(), std::vector<double>(sample.size(), 0.0));
+  for (std::size_t o = 0; o < observers.size(); ++o) {
+    for (std::size_t bi = 0; bi < sample.size(); ++bi) {
+      const auto stream = probe::probe_block(*sample[bi], observers[o],
+                                             config.loss, config.window,
+                                             probe::ProberConfig{});
+      if (stream.empty()) continue;
+      std::size_t pos = 0;
+      for (const auto& obs : stream) pos += obs.up ? 1 : 0;
+      rates[o][bi] =
+          static_cast<double>(pos) / static_cast<double>(stream.size());
+    }
+  }
+
+  std::vector<ObserverHealth> out(observers.size());
+  std::vector<double> others;
+  for (std::size_t o = 0; o < observers.size(); ++o) {
+    double total_dev = 0.0;
+    double total_rate = 0.0;
+    for (std::size_t bi = 0; bi < sample.size(); ++bi) {
+      others.clear();
+      for (std::size_t p = 0; p < observers.size(); ++p) {
+        if (p != o) others.push_back(rates[p][bi]);
+      }
+      if (!others.empty()) {
+        total_dev += std::abs(rates[o][bi] - analysis::median(others));
+      }
+      total_rate += rates[o][bi];
+    }
+    const double n = sample.empty() ? 1.0 : static_cast<double>(sample.size());
+    out[o].code = observers[o].code;
+    out[o].mean_reply_rate = total_rate / n;
+    out[o].deviation = total_dev / n;
+    out[o].healthy = out[o].deviation <= config.max_deviation;
+  }
+  return out;
+}
+
+std::vector<probe::ObserverSpec> healthy_observers(
+    const sim::World& world, const std::vector<probe::ObserverSpec>& observers,
+    const HealthCheckConfig& config) {
+  const auto health = check_observers(world, observers, config);
+  std::vector<probe::ObserverSpec> out;
+  for (std::size_t i = 0; i < observers.size(); ++i) {
+    if (health[i].healthy) out.push_back(observers[i]);
+  }
+  return out;
+}
+
+}  // namespace diurnal::recon

@@ -1,0 +1,69 @@
+#include "recon/outage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diurnal::recon {
+
+OutageDetectionResult detect_outages(const probe::ObservationVec& merged,
+                                     probe::ProbeWindow window,
+                                     const OutageDetectorOptions& opt) {
+  OutageDetectionResult res;
+  if (merged.empty()) return res;
+
+  // Seed the availability estimate from the first day of observations so
+  // the detector does not misread a sparse block's early non-replies.
+  double availability = 0.25;
+  {
+    std::size_t n = 0, pos = 0;
+    for (const auto& o : merged) {
+      if (o.rel_time > static_cast<std::uint32_t>(util::kSecondsPerDay)) break;
+      ++n;
+      pos += o.up ? 1 : 0;
+    }
+    if (n >= 16) {
+      availability = std::max(opt.min_availability,
+                              static_cast<double>(pos) / static_cast<double>(n));
+    }
+  }
+
+  double belief = opt.threshold;  // start confident-up
+  bool down = false;
+  util::SimTime down_since = 0;
+
+  for (const auto& o : merged) {
+    const util::SimTime t = window.start + static_cast<util::SimTime>(o.rel_time);
+    if (o.up) {
+      res.ever_up = true;
+      belief = std::min(belief + opt.positive_evidence, 4.0 * opt.threshold);
+      if (down && belief > opt.threshold) {
+        if (t - down_since >= opt.min_duration) {
+          res.outages.push_back(DetectedOutage{down_since, t});
+        }
+        down = false;
+      }
+    } else {
+      // P(non-reply | up) = 1 - A; P(non-reply | down) ~ 1.
+      belief += std::log(1.0 - availability);
+      if (!down && belief < -opt.threshold) {
+        down = true;
+        down_since = t;
+      }
+    }
+    // Track availability only while the block is believed up, so the
+    // estimate reflects how the block answers when reachable.
+    if (!down) {
+      availability += opt.availability_gain *
+                      ((o.up ? 1.0 : 0.0) - availability);
+      availability = std::max(availability, opt.min_availability);
+    }
+    belief = std::max(belief, -4.0 * opt.threshold);
+  }
+  if (down && window.end - down_since >= opt.min_duration) {
+    res.outages.push_back(DetectedOutage{down_since, window.end});
+  }
+  res.final_availability = availability;
+  return res;
+}
+
+}  // namespace diurnal::recon

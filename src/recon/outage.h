@@ -1,0 +1,56 @@
+// Probe-level outage detection in the style of Trinocular (Quan,
+// Heidemann & Pradkin, SIGCOMM 2013) — the system whose scans the paper
+// re-analyzes, and the outage feed section 2.6 cross-references to
+// discard non-human changes ("we can filter out such events by
+// comparing them with outage detections").
+//
+// Per block, a Bayesian belief about block-level reachability is
+// updated by every probe: a positive reply is strong evidence the block
+// is up; a non-reply is weak evidence scaled by the block's current
+// availability A(b) (the fraction of targets that answer when the block
+// is up), which is tracked adaptively so diurnal blocks do not read as
+// nightly outages.
+#pragma once
+
+#include <vector>
+
+#include "probe/prober.h"
+#include "util/date.h"
+
+namespace diurnal::recon {
+
+struct OutageDetectorOptions {
+  /// Belief thresholds in log-odds: the block is declared down when the
+  /// belief falls below -threshold and up again above +threshold.
+  double threshold = 6.0;
+  /// Log-odds bump for a positive reply (P(positive | down) is ~0).
+  double positive_evidence = 3.0;
+  /// Floor for the adaptive availability estimate; keeps the per-
+  /// non-reply penalty log(1 - A) bounded for sparse blocks.
+  double min_availability = 0.04;
+  /// EWMA constant for the availability estimate (per observation).
+  double availability_gain = 0.02;
+  /// Ignore down intervals shorter than this (probing jitter).
+  std::int64_t min_duration = 2 * util::kRoundSeconds;
+};
+
+/// One detected block-level outage [start, end).
+struct DetectedOutage {
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  std::int64_t duration() const noexcept { return end - start; }
+};
+
+struct OutageDetectionResult {
+  std::vector<DetectedOutage> outages;
+  double final_availability = 0.0;  ///< adaptive A(b) at the window end
+  bool ever_up = false;             ///< any positive reply at all
+};
+
+/// Runs the belief update over a merged, time-ordered observation
+/// stream for one block.  `window` anchors relative times.
+OutageDetectionResult detect_outages(const probe::ObservationVec& merged,
+                                     probe::ProbeWindow window,
+                                     const OutageDetectorOptions& opt = {});
+
+}  // namespace diurnal::recon

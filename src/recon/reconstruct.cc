@@ -1,0 +1,95 @@
+#include "recon/reconstruct.h"
+
+#include <algorithm>
+#include <array>
+
+#include "analysis/stats.h"
+
+namespace diurnal::recon {
+
+double ReconResult::fbs_median_seconds() const {
+  return analysis::median(fbs_spans_seconds);
+}
+
+double ReconResult::fbs_quantile_seconds(double q) const {
+  return analysis::quantile(fbs_spans_seconds, q);
+}
+
+ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
+                        probe::ProbeWindow window, const ReconOptions& opt) {
+  ReconResult res;
+  res.eb_count = eb_count;
+  const std::int64_t duration = window.end - window.start;
+  if (duration <= 0 || eb_count <= 0) {
+    res.counts = util::TimeSeries(window.start, std::max<std::int64_t>(opt.sample_step, 1), {});
+    return res;
+  }
+
+  const std::size_t n_samples =
+      static_cast<std::size_t>((duration + opt.sample_step - 1) / opt.sample_step);
+  std::vector<double> samples(n_samples, 0.0);
+
+  // Per-address state: -1 unknown, 0 down, 1 up.
+  std::array<std::int8_t, 256> state{};
+  std::array<std::int64_t, 256> last_seen{};
+  state.fill(-1);
+  last_seen.fill(-1);
+
+  int active = 0;
+  int observed = 0;
+  std::size_t positives = 0;
+  std::size_t next_sample = 0;
+
+  // Full-cover tracking: pass_epoch[a] is the cover pass that last
+  // touched address a; when a pass has touched all of E(b), its duration
+  // is one full-block-scan span and the next pass begins.
+  std::array<std::uint32_t, 256> pass_epoch{};
+  std::uint32_t pass = 1;
+  int pass_seen = 0;
+  std::int64_t pass_start = 0;
+
+  auto emit_until = [&](std::int64_t rel_time) {
+    while (next_sample < n_samples &&
+           static_cast<std::int64_t>(next_sample) * opt.sample_step <= rel_time) {
+      samples[next_sample] = static_cast<double>(active);
+      res.max_active = std::max(res.max_active, samples[next_sample]);
+      ++next_sample;
+    }
+  };
+
+  for (const auto& obs : merged) {
+    const auto rel = static_cast<std::int64_t>(obs.rel_time);
+    emit_until(rel - 1);
+    const std::size_t a = obs.addr;
+    if (a >= static_cast<std::size_t>(eb_count)) continue;
+    if (state[a] == -1) ++observed;
+    const std::int8_t now = obs.up ? 1 : 0;
+    if (state[a] == 1 && now == 0) --active;
+    if (state[a] != 1 && now == 1) ++active;
+    state[a] = now;
+    last_seen[a] = rel;
+    if (obs.up) ++positives;
+    if (pass_epoch[a] != pass) {
+      pass_epoch[a] = pass;
+      if (++pass_seen == eb_count) {
+        res.fbs_spans_seconds.push_back(static_cast<double>(rel - pass_start));
+        ++pass;
+        pass_seen = 0;
+        pass_start = rel;
+      }
+    }
+  }
+  emit_until(duration);
+
+  res.observations = merged.size();
+  res.observed_targets = observed;
+  res.responsive = positives > 0;
+  res.mean_reply_rate =
+      merged.empty() ? 0.0
+                     : static_cast<double>(positives) /
+                           static_cast<double>(merged.size());
+  res.counts = util::TimeSeries(window.start, opt.sample_step, std::move(samples));
+  return res;
+}
+
+}  // namespace diurnal::recon

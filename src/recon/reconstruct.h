@@ -1,0 +1,47 @@
+// Incremental address reconstruction (paper section 2.3, Figure 2).
+//
+// Observations arrive incrementally; each address holds its last
+// observed state until rescanned.  The reconstructor emits a regularly
+// sampled active-address count series, tracks full-block-scan (FBS)
+// spans for section 3.1's refresh-rate analysis, and reports reply-rate
+// statistics used by the loss study in section 3.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/prober.h"
+#include "util/timeseries.h"
+
+namespace diurnal::recon {
+
+struct ReconOptions {
+  /// Output sampling interval for the count series (the fleet uses
+  /// hourly; single-block case studies use per-round).
+  std::int64_t sample_step = 3600;
+};
+
+struct ReconResult {
+  util::TimeSeries counts;           ///< active-address estimate over time
+  bool responsive = false;           ///< any positive reply in the window
+  double mean_reply_rate = 0.0;      ///< positive / total observations
+  std::size_t observations = 0;
+  int eb_count = 0;
+  int observed_targets = 0;          ///< distinct addresses ever observed
+  double max_active = 0.0;
+
+  /// Full-block-scan spans: the durations of successive complete covers
+  /// of E(b) (each span is the time the merged observers took to touch
+  /// every target once).  This is the quantity of Figure 3.
+  std::vector<double> fbs_spans_seconds;
+
+  double fbs_median_seconds() const;
+  double fbs_quantile_seconds(double q) const;
+};
+
+/// Reconstructs a block's activity from a merged, time-ordered
+/// observation stream.
+ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
+                        probe::ProbeWindow window, const ReconOptions& opt = {});
+
+}  // namespace diurnal::recon

@@ -1,0 +1,32 @@
+#include "recon/repair.h"
+
+#include <array>
+#include <cstdint>
+
+namespace diurnal::recon {
+
+RepairStats one_loss_repair(probe::ObservationVec& stream) {
+  RepairStats stats;
+  stats.observations = stream.size();
+
+  // Per-address indices of the last and second-to-last observations.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::array<std::size_t, 256> last{};
+  std::array<std::size_t, 256> prev{};
+  last.fill(kNone);
+  prev.fill(kNone);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const std::uint8_t a = stream[i].addr;
+    if (stream[i].up && last[a] != kNone && prev[a] != kNone &&
+        !stream[last[a]].up && stream[prev[a]].up) {
+      stream[last[a]].up = true;  // 101 -> 111
+      ++stats.repaired;
+    }
+    prev[a] = last[a];
+    last[a] = i;
+  }
+  return stats;
+}
+
+}  // namespace diurnal::recon

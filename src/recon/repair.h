@@ -1,0 +1,33 @@
+// 1-loss repair (paper sections 2.3 and 3.3, after Heidemann et al.
+// 2008 section 3.5).
+//
+// Reconstruction interprets a non-reply as "address inactive until
+// rescanned", so a single lost probe on a congested path fabricates a
+// long down period.  Because active addresses stay active across many
+// rounds and loss is rare (back-to-back losses ~ p^2), the pattern
+// positive/non/positive (101) in one observer's per-address sequence is
+// better explained by loss: repair rewrites it to 111.  Patterns 001 and
+// 110 are left alone.  Repair runs per observer, before merging.
+#pragma once
+
+#include "probe/prober.h"
+
+namespace diurnal::recon {
+
+/// Statistics from a repair pass.
+struct RepairStats {
+  std::size_t observations = 0;
+  std::size_t repaired = 0;  ///< non-replies flipped to positive
+
+  double repair_fraction() const noexcept {
+    return observations == 0
+               ? 0.0
+               : static_cast<double>(repaired) / static_cast<double>(observations);
+  }
+};
+
+/// Applies 1-loss repair in place to a single observer's time-ordered
+/// observation stream.  Returns how many observations were rewritten.
+RepairStats one_loss_repair(probe::ObservationVec& stream);
+
+}  // namespace diurnal::recon

@@ -1,0 +1,34 @@
+// Minimal CSV writer: benches optionally dump series for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace diurnal::util {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (quotes cells that
+/// contain commas, quotes or newlines).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes one CSV cell.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace diurnal::util

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random generation for the simulation substrate.
+//
+// The whole reproduction is seed-deterministic: every world, prober and
+// loss model derives its randomness from named streams of a single master
+// seed, so any experiment can be replayed bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace diurnal::util {
+
+/// splitmix64 step; used for seeding and cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Combines a seed with a label to derive an independent stream seed.
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept;
+
+/// Combines a seed with up to three integer coordinates (block, address,
+/// day, ...) into an independent stream seed.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b = 0, std::uint64_t c = 0) noexcept;
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies (most of) UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (polar form cached).
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given mean (>0).
+  double exponential(double mean) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small,
+  /// normal approximation for large means).
+  int poisson(double mean) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+}  // namespace diurnal::util

@@ -1,0 +1,280 @@
+// Tests for the core pipeline pieces: classifier, detector, datasets,
+// aggregation, and validation metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregate.h"
+#include "core/classify.h"
+#include "core/datasets.h"
+#include "core/detect.h"
+#include "core/metrics.h"
+#include "util/rng.h"
+
+namespace diurnal::core {
+namespace {
+
+using util::SimTime;
+using util::time_of;
+
+// Builds a ReconResult around a synthetic hourly count series.
+recon::ReconResult recon_of(std::vector<double> counts, SimTime start = 0) {
+  recon::ReconResult r;
+  r.counts = util::TimeSeries(start, util::kSecondsPerHour, std::move(counts));
+  r.responsive = r.counts.max() > 0;
+  r.eb_count = 64;
+  r.max_active = r.counts.max();
+  return r;
+}
+
+// Hourly office-like series: `level` actives 9-17h on workdays.
+std::vector<double> office_series(int days, double level,
+                                  double after_level = -1.0,
+                                  int change_day = -1) {
+  std::vector<double> v;
+  for (int d = 0; d < days; ++d) {
+    const int wd = (d + 2) % 7;  // epoch is a Tuesday
+    const bool work = wd >= 1 && wd <= 5;
+    const double lvl = (change_day >= 0 && d >= change_day)
+                           ? after_level
+                           : level;
+    for (int h = 0; h < 24; ++h) {
+      v.push_back(work && h >= 9 && h < 17 ? lvl : 1.0);
+    }
+  }
+  return v;
+}
+
+TEST(Classify, OfficeBlockIsChangeSensitive) {
+  const auto cls = classify_block(recon_of(office_series(28, 15.0)));
+  EXPECT_TRUE(cls.responsive);
+  EXPECT_TRUE(cls.diurnal);
+  EXPECT_TRUE(cls.wide_swing);
+  EXPECT_TRUE(cls.change_sensitive);
+}
+
+TEST(Classify, FlatServerIsNotChangeSensitive) {
+  const auto cls = classify_block(recon_of(std::vector<double>(28 * 24, 40.0)));
+  EXPECT_TRUE(cls.responsive);
+  EXPECT_FALSE(cls.diurnal);
+  EXPECT_FALSE(cls.wide_swing);
+  EXPECT_FALSE(cls.change_sensitive);
+}
+
+TEST(Classify, DiurnalButNarrowIsNotChangeSensitive) {
+  const auto cls = classify_block(recon_of(office_series(28, 3.0)));
+  EXPECT_TRUE(cls.diurnal);
+  EXPECT_FALSE(cls.wide_swing);
+  EXPECT_FALSE(cls.change_sensitive);
+}
+
+TEST(Classify, NoisyWideButNotDiurnal) {
+  util::Xoshiro256 rng(3);
+  std::vector<double> v(28 * 24);
+  for (auto& x : v) x = std::max(0.0, rng.normal(20, 6));
+  const auto cls = classify_block(recon_of(std::move(v)));
+  EXPECT_FALSE(cls.diurnal);
+  EXPECT_TRUE(cls.wide_swing);
+  EXPECT_FALSE(cls.change_sensitive);
+}
+
+TEST(Classify, UnresponsiveShortCircuits) {
+  recon::ReconResult r;
+  r.counts = util::TimeSeries(0, 3600, std::vector<double>(28 * 24, 0.0));
+  r.responsive = false;
+  const auto cls = classify_block(r);
+  EXPECT_FALSE(cls.responsive);
+  EXPECT_FALSE(cls.change_sensitive);
+}
+
+TEST(Funnel, CountsAreConsistent) {
+  FunnelCounts f;
+  BlockClassification unresponsive;
+  BlockClassification flat;
+  flat.responsive = true;
+  BlockClassification cs;
+  cs.responsive = cs.diurnal = cs.wide_swing = cs.change_sensitive = true;
+  f.add(unresponsive);
+  f.add(flat);
+  f.add(cs);
+  f.add(cs);
+  EXPECT_EQ(f.routed, 4);
+  EXPECT_EQ(f.not_responsive, 1);
+  EXPECT_EQ(f.responsive, 3);
+  EXPECT_EQ(f.diurnal + f.not_diurnal, f.responsive);
+  EXPECT_EQ(f.narrow_swing + f.wide_swing, f.responsive);
+  EXPECT_EQ(f.change_sensitive + f.not_change_sensitive, f.responsive);
+  EXPECT_EQ(f.change_sensitive, 2);
+}
+
+TEST(Detect, FindsWfhStyleDrop) {
+  // Six weeks of strong office diurnality, then the swing disappears.
+  const auto counts = office_series(70, 15.0, 2.0, 42);
+  const auto det =
+      detect_changes(util::TimeSeries(0, util::kSecondsPerHour, counts));
+  ASSERT_FALSE(det.changes.empty());
+  bool found = false;
+  for (const auto& c : det.changes) {
+    if (c.direction == analysis::ChangeDirection::kDown &&
+        std::llabs(util::day_index(c.alarm) - 42) <= 4 &&
+        !c.filtered_as_outage) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Detect, SilentOnStablePattern) {
+  const auto counts = office_series(70, 15.0);
+  const auto det =
+      detect_changes(util::TimeSeries(0, util::kSecondsPerHour, counts));
+  int unfiltered_down = 0;
+  for (const auto& c : det.changes) {
+    if (!c.filtered_as_outage &&
+        c.direction == analysis::ChangeDirection::kDown) {
+      ++unfiltered_down;
+    }
+  }
+  EXPECT_EQ(unfiltered_down, 0);
+}
+
+TEST(Detect, OutagePairIsFiltered) {
+  // Stable office pattern with a 2-day total outage: the down+up pair
+  // must be filtered, leaving no activity changes.
+  auto counts = office_series(70, 15.0);
+  for (int h = 35 * 24; h < 37 * 24; ++h) counts[static_cast<std::size_t>(h)] = 0.0;
+  const auto det =
+      detect_changes(util::TimeSeries(0, util::kSecondsPerHour, counts));
+  // The outage is seen...
+  EXPECT_GE(det.changes.size(), 2u);
+  // ...but attributed to an outage, not to human activity.
+  for (const auto& c : det.activity_changes()) {
+    EXPECT_GT(std::llabs(util::day_index(c.alarm) - 36), 2)
+        << "outage-day change survived filtering";
+  }
+}
+
+TEST(Detect, PermanentDropIsNotFiltered) {
+  const auto counts = office_series(70, 15.0, 2.0, 42);
+  const auto det =
+      detect_changes(util::TimeSeries(0, util::kSecondsPerHour, counts));
+  EXPECT_FALSE(det.activity_changes().empty());
+}
+
+TEST(Detect, ShortSeriesYieldsEmptyResult) {
+  const auto det = detect_changes(
+      util::TimeSeries(0, util::kSecondsPerHour, std::vector<double>(100, 1.0)));
+  EXPECT_TRUE(det.changes.empty());
+  EXPECT_TRUE(det.trend.empty());
+}
+
+TEST(Detect, ComponentsExposedForPlotting) {
+  const auto counts = office_series(28, 12.0);
+  const auto det =
+      detect_changes(util::TimeSeries(0, util::kSecondsPerHour, counts));
+  EXPECT_EQ(det.trend.size(), counts.size());
+  EXPECT_EQ(det.seasonal.size(), counts.size());
+  EXPECT_EQ(det.normalized_trend.size(), counts.size());
+  EXPECT_EQ(det.cusum_pos.size(), counts.size());
+  EXPECT_NEAR(det.normalized_trend.mean(), 0.0, 1e-9);
+}
+
+TEST(Datasets, Table6Registry) {
+  const auto& all = table6_datasets();
+  EXPECT_GE(all.size(), 15u);
+  bool found_it89 = false;
+  for (const auto& d : all) {
+    if (d.abbr == "2020it89-w") {
+      found_it89 = true;
+      EXPECT_TRUE(d.survey);
+      EXPECT_EQ(d.duration_weeks, 2);
+    }
+  }
+  EXPECT_TRUE(found_it89);
+}
+
+TEST(Datasets, ParseAbbreviations) {
+  const auto q1 = dataset("2020q1-w");
+  EXPECT_EQ(util::to_string(q1.start), "2020-01-01");
+  EXPECT_EQ(q1.duration_weeks, 12);
+  EXPECT_EQ(q1.sites, "w");
+  EXPECT_EQ(q1.full_name, "internet_outage_adaptive_a39w-20200101");
+
+  const auto q4 = dataset("2019q4-w");
+  EXPECT_EQ(util::to_string(q4.start), "2019-10-01");
+  EXPECT_EQ(q4.full_name, "internet_outage_adaptive_a38w-20191001");
+
+  const auto h1 = dataset("2020h1-ejnw");
+  EXPECT_EQ(h1.duration_weeks, 24);
+  EXPECT_EQ(h1.observers().size(), 4u);
+
+  const auto m1 = dataset("2020m1-ejnw");
+  EXPECT_EQ(m1.duration_weeks, 4);
+
+  const auto survey = dataset("2020it89-w");
+  EXPECT_TRUE(survey.survey);
+  EXPECT_EQ(util::to_string(survey.start), "2020-02-19");
+
+  EXPECT_THROW(dataset("nonsense"), std::invalid_argument);
+  EXPECT_THROW(dataset("2020x7-w"), std::invalid_argument);
+}
+
+TEST(Datasets, WindowArithmetic) {
+  const auto m1 = dataset("2020m1-w");
+  const auto w = m1.window();
+  EXPECT_EQ(w.start, time_of(2020, 1, 1));
+  EXPECT_EQ(w.end, time_of(2020, 1, 29));
+}
+
+TEST(Aggregate, DayCountingAndSnapshots) {
+  const SimTime start = time_of(2020, 1, 1);
+  ChangeAggregator agg(start, time_of(2020, 3, 1));
+  const geo::GridCell wuhan = geo::GridCell::of(30.6, 114.3);
+
+  DetectedChange down;
+  down.alarm = time_of(2020, 1, 27);
+  down.direction = analysis::ChangeDirection::kDown;
+  DetectedChange up = down;
+  up.direction = analysis::ChangeDirection::kUp;
+  DetectedChange outage = down;
+  outage.filtered_as_outage = true;
+
+  for (int i = 0; i < 10; ++i) {
+    agg.add_block(wuhan, geo::Continent::kAsia,
+                  i < 3 ? std::vector<DetectedChange>{down}
+                        : std::vector<DetectedChange>{});
+  }
+  agg.add_block(wuhan, geo::Continent::kAsia, {up});
+  agg.add_block(wuhan, geo::Continent::kAsia, {outage});  // must not count
+
+  const auto& cell = agg.by_cell().at(wuhan);
+  EXPECT_EQ(cell.change_sensitive_blocks, 12);
+  const std::size_t day = agg.day_of(time_of(2020, 1, 27));
+  EXPECT_EQ(cell.down[day], 3);
+  EXPECT_EQ(cell.up[day], 1);
+  EXPECT_NEAR(cell.down_fraction(day), 3.0 / 12.0, 1e-12);
+  EXPECT_EQ(agg.continent(geo::Continent::kAsia).down[day], 3);
+  EXPECT_EQ(agg.continent(geo::Continent::kEurope).down[day], 0);
+
+  const auto snap = agg.map_snapshot(time_of(2020, 1, 27), 5);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].down_on_day, 3);
+  EXPECT_EQ(snap[0].blocks, 12);
+  // min_blocks filters small cells.
+  EXPECT_TRUE(agg.map_snapshot(time_of(2020, 1, 27), 13).empty());
+}
+
+TEST(Aggregate, ClampsOutOfWindowTimes) {
+  ChangeAggregator agg(0, 10 * util::kSecondsPerDay);
+  EXPECT_EQ(agg.day_of(-500), 0u);
+  EXPECT_EQ(agg.day_of(100 * util::kSecondsPerDay), 9u);
+  EXPECT_EQ(agg.days(), 10u);
+}
+
+TEST(Metrics, VerdictNames) {
+  EXPECT_EQ(to_string(BlockVerdict::kTruePositive), "true-positive");
+  EXPECT_EQ(to_string(BlockVerdict::kNoCusum), "no-CUSUM");
+}
+
+}  // namespace
+}  // namespace diurnal::core

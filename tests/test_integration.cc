@@ -1,0 +1,215 @@
+// End-to-end integration tests: the full Table-1 pipeline over a small
+// world, scored against ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "geo/coverage.h"
+#include "recon/block_recon.h"
+
+namespace diurnal::core {
+namespace {
+
+using util::time_of;
+
+const sim::World& shared_world() {
+  static const sim::World world([] {
+    sim::WorldConfig c;
+    c.num_blocks = 2500;
+    c.seed = 2020;
+    return c;
+  }());
+  return world;
+}
+
+const FleetResult& shared_fleet() {
+  static const FleetResult result = [] {
+    FleetConfig fc;
+    fc.dataset = dataset("2020q1-ejnw");
+    return run_fleet(shared_world(), fc);
+  }();
+  return result;
+}
+
+TEST(Integration, FunnelShapeMatchesPaper) {
+  const auto& f = shared_fleet().funnel;
+  EXPECT_EQ(f.routed, static_cast<std::int64_t>(shared_world().blocks().size()));
+  EXPECT_EQ(f.responsive + f.not_responsive, f.routed);
+  EXPECT_EQ(f.diurnal + f.not_diurnal, f.responsive);
+  EXPECT_EQ(f.narrow_swing + f.wide_swing, f.responsive);
+  EXPECT_EQ(f.change_sensitive + f.not_change_sensitive, f.responsive);
+
+  const double resp_frac = static_cast<double>(f.responsive) / f.routed;
+  const double diurnal_frac = static_cast<double>(f.diurnal) / f.responsive;
+  const double wide_frac = static_cast<double>(f.wide_swing) / f.responsive;
+  const double cs_frac = static_cast<double>(f.change_sensitive) / f.responsive;
+  // Paper (Table 2, 2020q1): responsive 46.5% of routed, diurnal 7.7%,
+  // wide 58.5%, change-sensitive 6.1% of responsive.  Allow generous
+  // bands; the *shape* must hold.
+  EXPECT_NEAR(resp_frac, 0.465, 0.06);
+  EXPECT_GT(diurnal_frac, 0.03);
+  EXPECT_LT(diurnal_frac, 0.16);
+  EXPECT_GT(wide_frac, 0.35);
+  EXPECT_LT(wide_frac, 0.75);
+  EXPECT_GT(cs_frac, 0.03);
+  EXPECT_LT(cs_frac, 0.12);
+  EXPECT_LE(f.change_sensitive, f.diurnal);
+}
+
+TEST(Integration, UscExampleBlockDetectedOnTime) {
+  const auto& world = shared_world();
+  const auto& fleet = shared_fleet();
+  const auto& blocks = world.blocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].id != world.usc_office_block()) continue;
+    const auto& out = fleet.outcomes[i];
+    ASSERT_TRUE(out.cls.change_sensitive);
+    bool near_wfh = false;
+    for (const auto& c : out.changes) {
+      if (c.direction == analysis::ChangeDirection::kDown &&
+          !c.filtered_as_outage &&
+          std::llabs(c.alarm - time_of(2020, 3, 15)) <=
+              4 * util::kSecondsPerDay) {
+        near_wfh = true;
+      }
+    }
+    EXPECT_TRUE(near_wfh);
+    return;
+  }
+  FAIL() << "USC block missing from world";
+}
+
+TEST(Integration, SampleValidationShape) {
+  ValidationConfig vc;
+  vc.window = dataset("2020q1-ejnw").window();
+  vc.sample_size = 60;
+  const auto v = validate_sample(shared_world(), shared_fleet(), vc);
+  EXPECT_EQ(v.total, 60);
+  EXPECT_EQ(v.total, v.no_wfh_in_window + v.wfh_in_window);
+  EXPECT_EQ(v.wfh_in_window, v.cusum_near_wfh + v.no_cusum_near);
+  EXPECT_EQ(v.cusum_near_wfh, v.true_positive + v.false_positive);
+  EXPECT_EQ(v.no_cusum_near, v.false_negative + v.cusum_far + v.no_cusum);
+  // The paper reports precision 93% and recall 72%; our synthetic world
+  // must land in the same regime.
+  EXPECT_GE(v.precision(), 0.8);
+  EXPECT_GE(v.recall(), 0.5);
+  EXPECT_GT(v.true_positive, 0);
+}
+
+TEST(Integration, ValidationIsDeterministic) {
+  ValidationConfig vc;
+  vc.window = dataset("2020q1-ejnw").window();
+  const auto a = validate_sample(shared_world(), shared_fleet(), vc);
+  const auto b = validate_sample(shared_world(), shared_fleet(), vc);
+  EXPECT_EQ(a.true_positive, b.true_positive);
+  EXPECT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].id, b.blocks[i].id);
+    EXPECT_EQ(a.blocks[i].verdict, b.blocks[i].verdict);
+  }
+}
+
+TEST(Integration, AggregationCoversChangeSensitiveBlocks) {
+  const auto& fleet = shared_fleet();
+  FleetConfig fc;
+  fc.dataset = dataset("2020q1-ejnw");
+  const auto agg = aggregate_changes(shared_world(), fleet, fc);
+  std::int64_t agg_blocks = 0;
+  for (const auto& [cell, series] : agg.by_cell()) {
+    (void)cell;
+    agg_blocks += series.change_sensitive_blocks;
+  }
+  EXPECT_EQ(agg_blocks, fleet.funnel.change_sensitive);
+  // Continent totals match too.
+  std::int64_t cont_blocks = 0;
+  for (const auto& c : agg.by_continent()) {
+    cont_blocks += c.change_sensitive_blocks;
+  }
+  EXPECT_EQ(cont_blocks, fleet.funnel.change_sensitive);
+}
+
+TEST(Integration, CoverageSummaryFromFleet) {
+  const auto& world = shared_world();
+  const auto& fleet = shared_fleet();
+  geo::CellCountMap cells;
+  for (std::size_t i = 0; i < fleet.outcomes.size(); ++i) {
+    const auto& out = fleet.outcomes[i];
+    if (!out.cls.responsive) continue;
+    auto& c = cells[world.blocks()[i].cell()];
+    ++c.responsive;
+    c.change_sensitive += out.cls.change_sensitive;
+  }
+  const auto s = geo::summarize_coverage(cells);
+  EXPECT_GT(s.cells_observed, 0);
+  EXPECT_GT(s.cells_represented, 0);
+  // Block-weighted coverage exceeds cell coverage (the paper's point:
+  // the cells we represent hold nearly all the blocks).
+  EXPECT_GT(s.resp_block_fraction(), s.represented_cell_fraction());
+}
+
+TEST(Integration, FleetIsDeterministic) {
+  sim::WorldConfig wc;
+  wc.num_blocks = 300;
+  wc.seed = 77;
+  const sim::World world(wc);
+  FleetConfig fc;
+  fc.dataset = dataset("2020m1-ejnw");
+  const auto a = run_fleet(world, fc);
+  const auto b = run_fleet(world, fc);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_EQ(a.funnel.change_sensitive, b.funnel.change_sensitive);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].cls.change_sensitive,
+              b.outcomes[i].cls.change_sensitive);
+    EXPECT_EQ(a.outcomes[i].changes.size(), b.outcomes[i].changes.size());
+  }
+}
+
+TEST(Integration, ClassifyWindowSeparateFromDetection) {
+  // Classify on 2020m1 (pre-Covid baseline), detect over a longer
+  // window, as section 3.4 prescribes.
+  sim::WorldConfig wc;
+  wc.num_blocks = 400;
+  wc.seed = 88;
+  const sim::World world(wc);
+  FleetConfig fc;
+  fc.dataset = dataset("2020q1-ejnw");
+  fc.classify_dataset = dataset("2020m1-ejnw");
+  const auto res = run_fleet(world, fc);
+  // Detection windows longer than classification: any change-sensitive
+  // block's changes may land after January.
+  bool change_after_january = false;
+  for (const auto& out : res.outcomes) {
+    for (const auto& c : out.changes) {
+      if (c.alarm > time_of(2020, 2, 1)) change_after_january = true;
+    }
+  }
+  EXPECT_TRUE(change_after_january);
+}
+
+TEST(Integration, RenumberCaseFilteredAsOutagePair) {
+  const auto& world = shared_world();
+  const auto& fleet = shared_fleet();
+  const auto& blocks = world.blocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].id != world.renumber_case_block()) continue;
+    const auto& out = fleet.outcomes[i];
+    if (!out.cls.change_sensitive) return;  // mixed block may be narrow
+    // If detected, the mid-February pair must include both directions.
+    bool down = false, up = false;
+    for (const auto& c : out.changes) {
+      if (std::llabs(c.alarm - time_of(2020, 2, 15)) <=
+          6 * util::kSecondsPerDay) {
+        down |= c.direction == analysis::ChangeDirection::kDown;
+        up |= c.direction == analysis::ChangeDirection::kUp;
+      }
+    }
+    EXPECT_EQ(down, up);
+    return;
+  }
+}
+
+}  // namespace
+}  // namespace diurnal::core

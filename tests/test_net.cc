@@ -1,0 +1,59 @@
+// Tests for IPv4 address and /24 block types.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/ipv4.h"
+
+namespace diurnal::net {
+namespace {
+
+TEST(IPv4Addr, FormatParseRoundTrip) {
+  const IPv4Addr a(0x80099000u);  // 128.9.144.0
+  EXPECT_EQ(a.to_string(), "128.9.144.0");
+  EXPECT_EQ(IPv4Addr::parse("128.9.144.0"), a);
+  EXPECT_EQ(IPv4Addr::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(IPv4Addr::parse("255.255.255.255").value(), 0xFFFFFFFFu);
+}
+
+TEST(IPv4Addr, ParseRejectsMalformed) {
+  EXPECT_THROW(IPv4Addr::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(IPv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(IPv4Addr::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(IPv4Addr::parse("hello"), std::invalid_argument);
+}
+
+TEST(IPv4Addr, LastOctet) {
+  EXPECT_EQ(IPv4Addr::parse("10.0.0.37").last_octet(), 37);
+  EXPECT_EQ(IPv4Addr::parse("10.0.0.255").last_octet(), 255);
+}
+
+TEST(BlockId, ContainingAndAddresses) {
+  const BlockId b = BlockId::containing(IPv4Addr::parse("128.9.144.77"));
+  EXPECT_EQ(b.to_string(), "128.9.144.0/24");
+  EXPECT_EQ(b.base(), IPv4Addr::parse("128.9.144.0"));
+  EXPECT_EQ(b.address(77), IPv4Addr::parse("128.9.144.77"));
+  EXPECT_EQ(b.address(255), IPv4Addr::parse("128.9.144.255"));
+}
+
+TEST(BlockId, Parse) {
+  EXPECT_EQ(BlockId::parse("128.125.52.0/24").to_string(), "128.125.52.0/24");
+  EXPECT_EQ(BlockId::parse("128.125.52.99"), BlockId::parse("128.125.52.0/24"));
+  EXPECT_THROW(BlockId::parse("1.2.3.0/16"), std::invalid_argument);
+}
+
+TEST(BlockId, OrderingAndHash) {
+  const BlockId a = BlockId::parse("1.0.0.0/24");
+  const BlockId b = BlockId::parse("1.0.1.0/24");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(BlockId(a.id() + 1), b);
+  std::unordered_set<BlockId> set{a, b, a};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(BlockId, BlockSizeConstant) {
+  EXPECT_EQ(kBlockSize, 256);
+}
+
+}  // namespace
+}  // namespace diurnal::net

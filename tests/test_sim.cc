@@ -1,0 +1,277 @@
+// Tests for the synthetic-world substrate: activity oracle, events,
+// and the generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/countries.h"
+#include "sim/block_profile.h"
+#include "sim/events.h"
+#include "sim/world.h"
+
+namespace diurnal::sim {
+namespace {
+
+using util::SimTime;
+using util::time_of;
+
+WorldConfig small_config(int blocks = 500) {
+  WorldConfig c;
+  c.num_blocks = blocks;
+  c.seed = 99;
+  return c;
+}
+
+TEST(World, GenerationIsDeterministic) {
+  World a(small_config()), b(small_config());
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].id, b.blocks()[i].id);
+    EXPECT_EQ(a.blocks()[i].category, b.blocks()[i].category);
+    EXPECT_EQ(a.blocks()[i].eb_count, b.blocks()[i].eb_count);
+    EXPECT_EQ(a.blocks()[i].seed, b.blocks()[i].seed);
+  }
+  // And the activity oracle agrees point-for-point.
+  const auto& blk = a.blocks()[42];
+  for (SimTime t = 0; t < util::kSecondsPerDay; t += 3600) {
+    EXPECT_EQ(active_count(blk, t), active_count(b.blocks()[42], t));
+  }
+}
+
+TEST(World, DifferentSeedsDiffer) {
+  auto c1 = small_config();
+  auto c2 = small_config();
+  c2.seed = 100;
+  World a(c1), b(c2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    differing += a.blocks()[i].category != b.blocks()[i].category;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(World, FindAndGeoDb) {
+  World w(small_config());
+  const auto& blk = w.blocks()[7];
+  ASSERT_NE(w.find(blk.id), nullptr);
+  EXPECT_EQ(w.find(blk.id)->id, blk.id);
+  EXPECT_EQ(w.find(net::BlockId(1)), nullptr);
+  const auto rec = w.geodb().lookup(blk.id);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_NEAR(rec->lat, blk.lat, 1e-6);
+  EXPECT_EQ(rec->country, blk.country);
+}
+
+TEST(World, CategoryMixPlausible) {
+  World w(small_config(8000));
+  const auto counts = w.category_counts();
+  int responsive = 0, diurnal_cat = 0, total = 0;
+  for (const auto& [cat, n] : counts) {
+    total += n;
+    if (cat != BlockCategory::kUnused && cat != BlockCategory::kFirewalled) {
+      responsive += n;
+    }
+    if (is_diurnal_category(cat)) diurnal_cat += n;
+  }
+  // Paper scale: ~46.5% responsive; diurnal categories a few percent.
+  EXPECT_NEAR(static_cast<double>(responsive) / total, 0.465, 0.05);
+  const double diurnal_frac = static_cast<double>(diurnal_cat) / responsive;
+  EXPECT_GT(diurnal_frac, 0.02);
+  EXPECT_LT(diurnal_frac, 0.15);
+}
+
+TEST(Activity, OfficeBlockIsDiurnalAndWorkWeek) {
+  World w(small_config(0));
+  const BlockProfile* office = w.find(w.usc_office_block());
+  ASSERT_NE(office, nullptr);
+  // Wednesday 2020-01-08 local noon (UTC-8 -> 20:00 UTC) vs local 3am.
+  const SimTime noon = time_of(2020, 1, 8) + 20 * 3600;
+  const SimTime night = time_of(2020, 1, 8) + 11 * 3600;
+  EXPECT_GT(active_count(*office, noon), 8);
+  EXPECT_LE(active_count(*office, night), 4);
+  // Sunday local noon is nearly empty.
+  const SimTime sunday_noon = time_of(2020, 1, 12) + 20 * 3600;
+  EXPECT_LT(active_count(*office, sunday_noon), 6);
+}
+
+TEST(Activity, WfhSuppresssesOfficeActivity) {
+  World w(small_config(0));
+  const BlockProfile* office = w.find(w.usc_office_block());
+  // Wednesday before WFH vs Wednesday after (local noon).
+  const SimTime before = time_of(2020, 3, 4) + 20 * 3600;
+  const SimTime after = time_of(2020, 3, 25) + 20 * 3600;
+  EXPECT_GT(active_count(*office, before), 8);
+  EXPECT_LT(active_count(*office, after), 5);
+  EXPECT_TRUE(wfh_start(*office).has_value());
+  EXPECT_EQ(util::to_string(util::date_of(*wfh_start(*office))), "2020-03-15");
+}
+
+TEST(Activity, HolidayDipsAttendance) {
+  World w(small_config(0));
+  const BlockProfile* office = w.find(w.usc_office_block());
+  // MLK day (Monday 2020-01-20) vs the following Monday, local noon.
+  const SimTime mlk = time_of(2020, 1, 20) + 20 * 3600;
+  const SimTime normal = time_of(2020, 1, 27) + 20 * 3600;
+  EXPECT_LT(active_count(*office, mlk), active_count(*office, normal) / 2 + 2);
+}
+
+TEST(Activity, OutageSilencesBlock) {
+  World w(small_config(0));
+  BlockProfile blk = *w.find(w.usc_office_block());
+  const SimTime noon = time_of(2020, 1, 8) + 20 * 3600;
+  ASSERT_GT(active_count(blk, noon), 0);
+  blk.outages.push_back(OutageInterval{noon - 3600, noon + 3600});
+  EXPECT_EQ(active_count(blk, noon), 0);
+  EXPECT_GT(active_count(blk, noon + 7200), 0);
+}
+
+TEST(Activity, RenumberingGapThenNewPopulation) {
+  World w(small_config(0));
+  const BlockProfile* blk = w.find(w.renumber_case_block());
+  ASSERT_NE(blk, nullptr);
+  const SimTime before = blk->renumber_at - util::kSecondsPerDay;
+  const SimTime gap = blk->renumber_at + 3600;
+  const SimTime after = blk->renumber_at + 2 * util::kSecondsPerDay;
+  EXPECT_GT(active_count(*blk, before), 0);
+  EXPECT_EQ(active_count(*blk, gap), 0);
+  EXPECT_GT(active_count(*blk, after), 0);
+}
+
+TEST(Activity, VacatedBlockDropsToInfrastructure) {
+  World w(small_config(0));
+  const BlockProfile* vpn = w.find(w.usc_vpn_block());
+  ASSERT_NE(vpn, nullptr);
+  const SimTime before = time_of(2020, 2, 5) + 20 * 3600;
+  const SimTime after = time_of(2020, 4, 1) + 20 * 3600;
+  EXPECT_GT(active_count(*vpn, before), 50);
+  EXPECT_LE(active_count(*vpn, after), 2);
+}
+
+TEST(Activity, OutOfRangeAddressesNeverRespond) {
+  World w(small_config(0));
+  const BlockProfile* office = w.find(w.usc_office_block());
+  const SimTime noon = time_of(2020, 1, 8) + 20 * 3600;
+  EXPECT_FALSE(address_active(*office, office->eb_count, noon));
+  EXPECT_FALSE(address_active(*office, -1, noon));
+  EXPECT_FALSE(address_active(*office, 255, noon));
+}
+
+TEST(Activity, AlwaysOnAddressesStayUp) {
+  World w(small_config(0));
+  const BlockProfile* office = w.find(w.usc_office_block());
+  int up = 0, total = 0;
+  for (SimTime t = 0; t < 14 * util::kSecondsPerDay; t += 7200) {
+    for (int a = 0; a < office->always_on; ++a) {
+      up += address_active(*office, a, t);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(up) / total, 0.97);
+}
+
+TEST(Activity, TruthSeriesMatchesOracle) {
+  World w(small_config(0));
+  const BlockProfile* office = w.find(w.usc_office_block());
+  const SimTime t0 = time_of(2020, 1, 6);
+  const auto series = w.truth_series(*office, t0, t0 + util::kSecondsPerDay, 3600);
+  ASSERT_EQ(series.size(), 24u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i], active_count(*office, series.time_at(i)));
+  }
+}
+
+TEST(Events, DefaultCalendarContents) {
+  const auto cal = default_calendar();
+  int wfh = 0, holidays = 0, unrest = 0;
+  for (const auto& e : cal) {
+    switch (e.kind) {
+      case EventKind::kWorkFromHome: ++wfh; break;
+      case EventKind::kHoliday: ++holidays; break;
+      case EventKind::kCurfewUnrest: ++unrest; break;
+    }
+  }
+  EXPECT_GE(wfh, 20);       // most registry countries have a WFH date
+  EXPECT_GE(holidays, 8);
+  EXPECT_GE(unrest, 2);     // Delhi and the UAE curfew
+}
+
+TEST(Events, ScopeMatching) {
+  EventScope country_only;
+  country_only.country_code = "IN";
+  EXPECT_TRUE(country_only.matches("IN", geo::GridCell{0, 0}));
+  EXPECT_FALSE(country_only.matches("CN", geo::GridCell{0, 0}));
+
+  EventScope cell_scoped;
+  cell_scoped.country_code = "IN";
+  cell_scoped.cell = geo::GridCell::of(28.6, 77.2);
+  EXPECT_TRUE(cell_scoped.matches("IN", geo::GridCell::of(28.0, 76.5)));
+  EXPECT_FALSE(cell_scoped.matches("IN", geo::GridCell::of(19.1, 72.9)));
+}
+
+TEST(Events, EventsForFiltersByWindow) {
+  const auto cal = default_calendar();
+  const auto in_jan = events_for(cal, "CN", geo::GridCell::of(30.6, 114.3),
+                                 time_of(2020, 1, 1), time_of(2020, 2, 1));
+  bool has_spring_festival = false;
+  for (const auto* e : in_jan) {
+    if (e->name == "spring-festival-2020") has_spring_festival = true;
+  }
+  EXPECT_TRUE(has_spring_festival);
+  const auto in_2019 = events_for(cal, "CN", geo::GridCell::of(30.6, 114.3),
+                                  time_of(2019, 10, 1), time_of(2019, 11, 1));
+  for (const auto* e : in_2019) {
+    EXPECT_NE(e->name, "spring-festival-2020");
+  }
+}
+
+TEST(Events, DelhiUnrestOnlyAffectsDelhiCell) {
+  World w(small_config(6000));
+  int delhi_unrest = 0, elsewhere_unrest = 0;
+  const auto delhi = geo::GridCell::of(28.6, 77.2);
+  for (const auto& b : w.blocks()) {
+    for (const auto& s : b.suppressions) {
+      if (s.kind != EventKind::kCurfewUnrest) continue;
+      if (geo::countries()[b.country].code == "AE") continue;  // UAE curfew
+      if (b.cell() == delhi) ++delhi_unrest;
+      else ++elsewhere_unrest;
+    }
+  }
+  EXPECT_GT(delhi_unrest, 0);
+  EXPECT_EQ(elsewhere_unrest, 0);
+}
+
+TEST(Events, WfhAdoptionJitterWithinBounds) {
+  World w(small_config(8000));
+  const SimTime horizon = time_of(2020, 7, 1);
+  int adopted = 0;
+  for (const auto& b : w.blocks()) {
+    const auto start = wfh_start(b);
+    if (!start) continue;
+    ++adopted;
+    const auto& country = geo::countries()[b.country];
+    ASSERT_TRUE(country.wfh_2020.has_value());
+    const SimTime official = time_of(*country.wfh_2020);
+    EXPECT_GE(*start, official - 2 * util::kSecondsPerDay);
+    EXPECT_LE(*start, official + 3 * util::kSecondsPerDay);
+    EXPECT_LT(*start, horizon);
+  }
+  EXPECT_GT(adopted, 50);
+}
+
+TEST(World, SpecialBlocksPresentOnlyWhenRequested) {
+  auto cfg = small_config(10);
+  cfg.include_special_blocks = false;
+  World w(cfg);
+  EXPECT_EQ(w.find(net::BlockId::parse("128.9.144.0/24")), nullptr);
+  EXPECT_EQ(w.blocks().size(), 10u);
+}
+
+TEST(BlockCategoryNames, AllDistinct) {
+  EXPECT_EQ(to_string(BlockCategory::kOffice), "office");
+  EXPECT_EQ(to_string(BlockCategory::kNatGateway), "nat-gateway");
+  EXPECT_NE(to_string(BlockCategory::kServerFarm),
+            to_string(BlockCategory::kHomeDynamic));
+}
+
+}  // namespace
+}  // namespace diurnal::sim

@@ -1,0 +1,191 @@
+// diurnal_cli: command-line driver for the full pipeline.
+//
+//   diurnal_cli run      [--blocks N] [--seed S] [--dataset D]
+//                        [--classify D2] [--country CC] [--out PREFIX]
+//                        [--discover] [--validate]
+//   diurnal_cli block    [--dataset D] [--id A.B.C.0/24 | --usc | --vpn]
+//   diurnal_cli datasets
+//   diurnal_cli sites
+//
+// `run` executes probe -> reconstruct -> classify -> detect -> aggregate
+// over a synthetic world, optionally exporting CSVs (--out), discovering
+// regional events (--discover), and scoring against ground truth
+// (--validate).  `block` runs the single-block pipeline and prints the
+// Figure-1-style story for one /24.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/discovery.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "geo/countries.h"
+#include "recon/block_recon.h"
+
+using namespace diurnal;
+
+namespace {
+
+struct Args {
+  std::string command;
+  int blocks = 3000;
+  std::uint64_t seed = 1;
+  std::string dataset = "2020q1-ejnw";
+  std::optional<std::string> classify_dataset;
+  std::optional<std::string> country;
+  std::optional<std::string> out_prefix;
+  std::optional<std::string> block_id;
+  bool usc = false;
+  bool vpn = false;
+  bool discover = false;
+  bool validate = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: diurnal_cli run [--blocks N] [--seed S] [--dataset D]\n"
+               "                       [--classify D2] [--country CC]\n"
+               "                       [--out PREFIX] [--discover] [--validate]\n"
+               "       diurnal_cli block [--dataset D] [--id A.B.C.0/24|--usc|--vpn]\n"
+               "       diurnal_cli datasets | sites\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) usage();
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--blocks") a.blocks = std::atoi(value().c_str());
+    else if (flag == "--seed") a.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (flag == "--dataset") a.dataset = value();
+    else if (flag == "--classify") a.classify_dataset = value();
+    else if (flag == "--country") a.country = value();
+    else if (flag == "--out") a.out_prefix = value();
+    else if (flag == "--id") a.block_id = value();
+    else if (flag == "--usc") a.usc = true;
+    else if (flag == "--vpn") a.vpn = true;
+    else if (flag == "--discover") a.discover = true;
+    else if (flag == "--validate") a.validate = true;
+    else usage();
+  }
+  return a;
+}
+
+int cmd_run(const Args& a) {
+  sim::WorldConfig wc;
+  wc.num_blocks = a.blocks;
+  wc.seed = a.seed;
+  wc.only_country = a.country;
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset(a.dataset);
+  if (a.classify_dataset) fc.classify_dataset = core::dataset(*a.classify_dataset);
+  const auto fleet = core::run_fleet(world, fc);
+  const auto& f = fleet.funnel;
+  std::printf("funnel: routed %lld | responsive %lld | diurnal %lld | "
+              "wide %lld | change-sensitive %lld\n",
+              static_cast<long long>(f.routed),
+              static_cast<long long>(f.responsive),
+              static_cast<long long>(f.diurnal),
+              static_cast<long long>(f.wide_swing),
+              static_cast<long long>(f.change_sensitive));
+
+  const auto agg = core::aggregate_changes(world, fleet, fc);
+  if (a.discover) {
+    std::printf("\ndiscovered regional events:\n");
+    for (const auto& ev : core::discover_events(agg)) {
+      std::printf("  %s\n", ev.to_string().c_str());
+    }
+  }
+  if (a.validate) {
+    core::ValidationConfig vc;
+    vc.window = fc.dataset.window();
+    const auto v = core::validate_sample(world, fleet, vc);
+    std::printf("\nvalidation: %d sampled, TP %d FP %d FN %d -> "
+                "precision %.0f%% recall %.0f%%\n",
+                v.total, v.true_positive, v.false_positive, v.false_negative,
+                v.precision() * 100, v.recall() * 100);
+  }
+  if (a.out_prefix) {
+    const auto paths = core::write_report(*a.out_prefix, world, fleet, agg);
+    std::printf("\nwrote %s %s %s %s\n", paths.funnel.c_str(),
+                paths.blocks.c_str(), paths.changes.c_str(),
+                paths.cells.c_str());
+  }
+  return 0;
+}
+
+int cmd_block(const Args& a) {
+  sim::WorldConfig wc;
+  wc.num_blocks = a.block_id ? a.blocks : 0;
+  wc.seed = a.seed;
+  const sim::World world(wc);
+
+  net::BlockId id = world.usc_office_block();
+  if (a.vpn) id = world.usc_vpn_block();
+  if (a.block_id) id = net::BlockId::parse(*a.block_id);
+  const auto* block = world.find(id);
+  if (block == nullptr) {
+    std::fprintf(stderr, "block %s not in this world\n", id.to_string().c_str());
+    return 1;
+  }
+
+  const auto ds = core::dataset(a.dataset);
+  recon::BlockObservationConfig oc;
+  oc.observers = ds.observers();
+  oc.window = ds.window();
+  const auto r = recon::observe_and_reconstruct(*block, oc);
+  const auto cls = core::classify_block(r);
+  std::printf("%s: |E(b)| %d, max active %.0f, reply rate %.3f\n",
+              id.to_string().c_str(), r.eb_count, r.max_active,
+              r.mean_reply_rate);
+  std::printf("diurnal %s (ratio %.2f), wide swing %s (max %.0f) -> "
+              "change-sensitive %s\n",
+              cls.diurnal ? "yes" : "no", cls.diurnal_detail.power_ratio,
+              cls.wide_swing ? "yes" : "no", cls.swing_detail.max_daily_swing,
+              cls.change_sensitive ? "YES" : "no");
+  for (const auto& c : core::detect_changes(r.counts).changes) {
+    std::printf("  %s alarm %s amplitude %+.1f addr%s%s\n",
+                c.direction == analysis::ChangeDirection::kDown ? "DOWN" : "UP",
+                util::to_string(util::date_of(c.alarm)).c_str(),
+                c.amplitude_addresses,
+                c.filtered_as_outage ? " [outage]" : "",
+                c.filtered_small ? " [small]" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "run") return cmd_run(a);
+  if (a.command == "block") return cmd_block(a);
+  if (a.command == "datasets") {
+    for (const auto& d : core::table6_datasets()) {
+      std::printf("%-12s %-50s %s %2d weeks\n", d.abbr.c_str(),
+                  d.full_name.c_str(), util::to_string(d.start).c_str(),
+                  d.duration_weeks);
+    }
+    return 0;
+  }
+  if (a.command == "sites") {
+    for (const auto& s : probe::trinocular_sites()) {
+      std::printf("%c  %-28s phase %3llds%s\n", s.code, s.location.c_str(),
+                  static_cast<long long>(s.phase),
+                  s.fault_end > s.fault_start ? "  (faulty in 2020h1)" : "");
+    }
+    return 0;
+  }
+  usage();
+}

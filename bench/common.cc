@@ -1,7 +1,9 @@
 #include "common.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace diurnal::bench {
 
@@ -43,6 +45,72 @@ void print_funnel(const std::string& name, const core::FunnelCounts& f) {
               fmt_count(f.responsive).c_str(), fmt_count(f.diurnal).c_str(),
               fmt_count(f.wide_swing).c_str(),
               fmt_count(f.change_sensitive).c_str());
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::add(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::add_object(const std::string& key, const JsonObject& v) {
+  fields_.emplace_back(key, v.str(1));
+  return *this;
+}
+
+std::string JsonObject::str(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += pad + "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+    if (i + 1 < fields_.size()) out += ",";
+    out += "\n";
+  }
+  out += close_pad + "}";
+  return out;
+}
+
+void write_bench_json(const std::string& default_path, const JsonObject& obj) {
+  const char* override_path = std::getenv("DIURNAL_BENCH_JSON");
+  const std::string path =
+      (override_path != nullptr && *override_path != '\0') ? override_path
+                                                           : default_path;
+  std::ofstream out(path);
+  out << obj.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 std::string bar(double fraction, int width) {

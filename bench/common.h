@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/classify.h"
 #include "sim/world.h"
@@ -36,5 +38,39 @@ void print_funnel(const std::string& name, const core::FunnelCounts& f);
 
 /// Renders a small inline bar for text "plots".
 std::string bar(double fraction, int width = 40);
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (the BENCH_*.json perf trajectory).
+// ---------------------------------------------------------------------------
+
+/// Minimal insertion-ordered JSON object builder.  Values are emitted in
+/// the order added; nested objects via add_object.  Just enough for the
+/// flat metric dictionaries the perf-trajectory files hold.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double v);
+  JsonObject& add(const std::string& key, std::int64_t v);
+  JsonObject& add(const std::string& key, int v) {
+    return add(key, static_cast<std::int64_t>(v));
+  }
+  JsonObject& add(const std::string& key, const std::string& v);
+  JsonObject& add(const std::string& key, const char* v) {
+    return add(key, std::string(v));
+  }
+  JsonObject& add(const std::string& key, bool v);
+  JsonObject& add_object(const std::string& key, const JsonObject& v);
+
+  /// Serializes as a pretty-printed JSON object.
+  std::string str(int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes a bench's JSON metrics file and announces the path on stdout.
+/// The destination defaults to `default_path` (relative to the working
+/// directory) and can be overridden with the DIURNAL_BENCH_JSON
+/// environment variable.
+void write_bench_json(const std::string& default_path, const JsonObject& obj);
 
 }  // namespace diurnal::bench

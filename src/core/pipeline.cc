@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -45,37 +46,54 @@ FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
                            : std::max(1u, std::thread::hardware_concurrency());
   n_threads = std::min<unsigned>(n_threads, 64);
 
+  // Chunked self-scheduling: workers steal fixed runs of consecutive
+  // blocks from a shared counter.  Chunks amortize the atomic to one
+  // fetch_add per kChunk blocks while still load-balancing (block costs
+  // vary by orders of magnitude between categories); consecutive blocks
+  // also keep each worker's scratch buffers at a stable working size.
+  // Each block's outcome lands in its own result slot, so the schedule
+  // cannot affect the output (see bench_fleet's determinism gate).
+  constexpr std::size_t kChunk = 16;
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    probe::ProbeScratch scratch;
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= blocks.size()) return;
-      const auto& block = blocks[i];
-      BlockOutcome& out = result.outcomes[i];
-      out.id = block.id;
-      if (block.eb_count == 0) continue;  // never responds
+      const std::size_t begin =
+          next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= blocks.size()) return;
+      const std::size_t end = std::min(begin + kChunk, blocks.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& block = blocks[i];
+        BlockOutcome& out = result.outcomes[i];
+        out.id = block.id;
+        if (block.eb_count == 0) continue;  // never responds
 
-      const auto classify_recon =
-          recon::observe_and_reconstruct(block, classify_oc);
-      out.cls = classify_block(classify_recon, config.classifier);
-      if (!out.cls.change_sensitive || !config.run_detection) continue;
+        const auto classify_recon =
+            recon::observe_and_reconstruct(block, classify_oc, scratch);
+        out.cls = classify_block(classify_recon, config.classifier);
+        if (!out.cls.change_sensitive || !config.run_detection) continue;
 
-      if (same_window) {
-        out.changes =
-            detect_changes(classify_recon.counts, config.detector).changes;
-      } else {
-        const auto detect_recon =
-            recon::observe_and_reconstruct(block, detect_oc);
-        out.changes =
-            detect_changes(detect_recon.counts, config.detector).changes;
+        if (same_window) {
+          out.changes =
+              detect_changes(classify_recon.counts, config.detector).changes;
+        } else {
+          const auto detect_recon =
+              recon::observe_and_reconstruct(block, detect_oc, scratch);
+          out.changes =
+              detect_changes(detect_recon.counts, config.detector).changes;
+        }
       }
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
 
   for (const auto& out : result.outcomes) result.funnel.add(out.cls);
   return result;

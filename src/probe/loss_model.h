@@ -39,6 +39,23 @@ class LossModel {
   bool path_congested(const ObserverSpec& obs,
                       const sim::BlockProfile& block) const noexcept;
 
+  /// loss_rate() with the (time-independent) path_congested bit already
+  /// resolved; probe loops hoist that lookup out of their round loop.
+  double loss_rate_on_path(bool congested, std::int16_t tz_offset_hours,
+                           util::SimTime t) const noexcept;
+
+  /// Loss rate on a congested path at a destination-local hour (the
+  /// diurnal congestion curve of section 3.3).  The rate depends on time
+  /// only through the local hour, so probe loops can tabulate all 24
+  /// values once per pass instead of evaluating the curve per probe.
+  double congested_loss_at_hour(int local_hour) const noexcept {
+    double busy = 0.15;
+    if (local_hour >= 19) busy = 1.0;
+    else if (local_hour >= 15) busy = 0.5;
+    else if (local_hour >= 9) busy = 0.3;
+    return config_.base_loss + config_.congested_peak_loss * busy;
+  }
+
   const LossModelConfig& config() const noexcept { return config_; }
 
  private:

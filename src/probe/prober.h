@@ -16,18 +16,28 @@
 
 #include "probe/loss_model.h"
 #include "probe/observer.h"
+#include "sim/activity_cursor.h"
 #include "sim/block_profile.h"
+#include "util/default_init_allocator.h"
 
 namespace diurnal::probe {
 
-/// One probe result for a single target address.
+/// One probe result for a single target address.  Deliberately without
+/// member initializers: observation buffers are grown to a worst-case
+/// size and filled through a bare pointer, so resize must not spend
+/// memory bandwidth zero-filling storage that is about to be overwritten
+/// (see ObservationVec's allocator).
 struct Observation {
-  std::uint32_t rel_time = 0;  ///< seconds since the window start
-  std::uint8_t addr = 0;       ///< target index within E(b)
-  bool up = false;             ///< positive reply received
+  std::uint32_t rel_time;  ///< seconds since the window start
+  std::uint8_t addr;       ///< target index within E(b)
+  bool up;                 ///< positive reply received
 };
 
-using ObservationVec = std::vector<Observation>;
+/// resize() on this vector default-initializes (leaves elements
+/// indeterminate) instead of zero-filling; producers write every element
+/// they expose.
+using ObservationVec =
+    std::vector<Observation, util::DefaultInitAllocator<Observation>>;
 
 enum class ProberKind : std::uint8_t {
   kTrinocular,
@@ -54,13 +64,64 @@ struct ProberConfig {
   double fault_flip_prob = 0.35;
 };
 
-/// Probes one block from one observer over a window.  Returns the
-/// time-ordered observations (empty for blocks with no targets).
+/// Reusable per-thread buffers for the probe -> merge hot path.  A
+/// fleet run probes hundreds of thousands of (block, observer) pairs;
+/// reusing one scratch per worker removes every per-pair allocation.
+/// Not thread-safe: use one instance per thread.
+struct ProbeScratch {
+  /// Per-quarter probe-order permutation buffer (probe_block_into).
+  /// The permutation is shared by every observer (same seed, as in the
+  /// real system), so it is keyed and reused across the fleet's
+  /// back-to-back observer passes over one block instead of re-shuffled
+  /// per pass.
+  std::vector<std::uint8_t> order;
+  std::uint64_t order_key = ~std::uint64_t{0};  ///< derive_seed(seed, block, quarter)
+  /// Day table of order-permuted activity rows: entry i of a slot's row
+  /// is `hour_mask(order[i]) | order[i] << 24`, so the steady-state
+  /// probe loop walks one sequential array instead of chasing
+  /// order[cursor] into the activity row.  Slots are direct-mapped by
+  /// local day and keyed by (activity row key, order key); like the
+  /// cursor's own day table, rows survive the fleet's back-to-back
+  /// observer passes over one block.
+  std::vector<std::uint32_t> prow;
+  std::vector<std::uint64_t> prow_rkey;
+  std::vector<std::uint64_t> prow_okey;
+  std::size_t prow_stride = 0;
+  /// Monotone-time activity cache, rebound per (block, window) pass.
+  sim::ActivityCursor cursor;
+  /// First loss-hash stage per address (depends only on block and addr,
+  /// so it is hoisted out of the probe loop).
+  std::vector<std::uint64_t> loss_h1;
+  /// Per-observer observation streams (callers that collect-then-merge).
+  std::vector<ObservationVec> streams;
+  /// Merge output buffer (merge_observations_into).
+  ObservationVec merged;
+
+  /// Per-thread fallback instance used by the convenience wrappers.
+  static ProbeScratch& local();
+};
+
+/// Probes one block from one observer over a window, appending nothing
+/// and replacing `out` with the time-ordered observations (empty for
+/// blocks with no targets).  `scratch` supplies reused buffers.
+void probe_block_into(const sim::BlockProfile& block,
+                      const ObserverSpec& observer, const LossModel& loss,
+                      ProbeWindow window, const ProberConfig& config,
+                      ProbeScratch& scratch, ObservationVec& out);
+
+/// Convenience wrapper over probe_block_into using thread-local scratch.
 ObservationVec probe_block(const sim::BlockProfile& block,
                            const ObserverSpec& observer, const LossModel& loss,
                            ProbeWindow window, const ProberConfig& config = {});
 
-/// Merges per-observer streams into one stream ordered by time.
+/// K-way-merges per-observer streams into `out` (replaced, not appended).
+/// Total order: (rel_time, source-stream index) — ties keep the probe
+/// from the lowest-index stream first, so the merged stream is a stable,
+/// reproducible function of its inputs regardless of stream count.
+void merge_observations_into(const std::vector<ObservationVec>& streams,
+                             ObservationVec& out);
+
+/// Convenience wrapper over merge_observations_into.
 ObservationVec merge_observations(std::vector<ObservationVec> streams);
 
 /// Number of probes per round the additional-observations prober sends

@@ -6,33 +6,50 @@ namespace diurnal::recon {
 
 namespace {
 
-std::vector<probe::ObservationVec> collect_streams(
-    const sim::BlockProfile& block, const BlockObservationConfig& config) {
-  std::vector<probe::ObservationVec> streams;
-  streams.reserve(config.observers.size() + 1);
-  for (const auto& obs : config.observers) {
-    auto stream =
-        probe::probe_block(block, obs, config.loss, config.window, config.prober);
-    if (config.one_loss_repair) one_loss_repair(stream);
-    streams.push_back(std::move(stream));
+// Probes every observer into scratch.streams (reused, resized in place).
+void collect_streams_into(const sim::BlockProfile& block,
+                          const BlockObservationConfig& config,
+                          probe::ProbeScratch& scratch) {
+  const std::size_t n =
+      config.observers.size() + (config.additional_observations ? 1 : 0);
+  scratch.streams.resize(n);
+  for (std::size_t i = 0; i < config.observers.size(); ++i) {
+    probe::probe_block_into(block, config.observers[i], config.loss,
+                            config.window, config.prober, scratch,
+                            scratch.streams[i]);
+    if (config.one_loss_repair) one_loss_repair(scratch.streams[i]);
   }
   if (config.additional_observations) {
     probe::ProberConfig extra_cfg = config.prober;
     extra_cfg.kind = probe::ProberKind::kAdditional;
-    auto stream = probe::probe_block(block, probe::additional_observer(),
-                                     config.loss, config.window, extra_cfg);
-    if (config.one_loss_repair) one_loss_repair(stream);
-    streams.push_back(std::move(stream));
+    probe::probe_block_into(block, probe::additional_observer(), config.loss,
+                            config.window, extra_cfg, scratch,
+                            scratch.streams[n - 1]);
+    if (config.one_loss_repair) one_loss_repair(scratch.streams[n - 1]);
   }
-  return streams;
+}
+
+std::vector<probe::ObservationVec> collect_streams(
+    const sim::BlockProfile& block, const BlockObservationConfig& config) {
+  auto& scratch = probe::ProbeScratch::local();
+  collect_streams_into(block, config, scratch);
+  return std::move(scratch.streams);
 }
 
 }  // namespace
 
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
+                                    const BlockObservationConfig& config,
+                                    probe::ProbeScratch& scratch) {
+  collect_streams_into(block, config, scratch);
+  probe::merge_observations_into(scratch.streams, scratch.merged);
+  return reconstruct(scratch.merged, block.eb_count, config.window,
+                     config.recon);
+}
+
+ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
                                     const BlockObservationConfig& config) {
-  auto merged = probe::merge_observations(collect_streams(block, config));
-  return reconstruct(merged, block.eb_count, config.window, config.recon);
+  return observe_and_reconstruct(block, config, probe::ProbeScratch::local());
 }
 
 MultiReconResult observe_and_reconstruct_detailed(

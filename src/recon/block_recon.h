@@ -30,6 +30,12 @@ struct BlockObservationConfig {
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
                                     const BlockObservationConfig& config);
 
+/// Same, reusing caller-owned scratch buffers (one per worker thread);
+/// fleet loops call this overload to avoid per-block allocations.
+ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
+                                    const BlockObservationConfig& config,
+                                    probe::ProbeScratch& scratch);
+
 /// Same, but also returns each observer's own single-site reconstruction
 /// (used by the loss study of section 3.3 and the health check).
 struct PerObserverRecon {

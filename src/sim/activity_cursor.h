@@ -1,0 +1,397 @@
+// Monotone-time cached view of the address-activity oracle.
+//
+// `sim::address_active` is stateless: every call re-derives the local
+// clock, rescans the suppression/outage interval lists, and runs 3-5
+// SplitMix64 hash chains.  Probers, however, ask strictly monotonically
+// increasing times, so almost all of that work is redundant: the local
+// clock only changes at hour boundaries, the active suppression/outage
+// set only changes at interval boundaries, and a device's dormancy,
+// schedule hours, and daily presence draw are fixed for a whole
+// (address, local-day) pair.
+//
+// ActivityCursor memoizes all of that behind a two-level cache:
+//
+//  * Block level: a "fast window" [ -, fast_until_ ) inside which the
+//    local hour, active suppressions/outages, slot indices, and the
+//    block's structural state (vacated, renumber phase, occupancy) are
+//    all constant.  Sorted interval/edge lists advance with cursors.
+//  * Address level: per local day, a row of 24-bit masks (one per
+//    address) holding the address's answer for every hour of that day
+//    given the suppression state, derived in one sequential sweep when
+//    the cursor first enters the day and kept in a direct-mapped day
+//    table keyed by a canonical 64-bit row key.  The per-probe fast
+//    path is a dense 4-byte load plus a shift, and re-sweeps of the
+//    same window (every later observer of the fleet) hit cached rows
+//    without re-deriving a single hash.  Slot-session addresses
+//    (intermittent blocks, churny server-farm leases) join the day rows
+//    too: 6h/8h slot boundaries are whole-hour aligned, so one day is at
+//    most five slot draws OR-ed into an hour mask (negative days, where
+//    truncating slot division misaligns, fall back to cached per-slot
+//    booleans).
+//
+// Results are bit-identical to address_active — every hash and every
+// floating-point expression is shared through sim/schedule.h or
+// replicated operation-for-operation, and the equivalence is enforced
+// by randomized property tests.  The only contract is that after
+// bind(), query times must be non-decreasing.
+//
+// Typical use (one cursor per worker thread, rebound per block pass):
+//
+//   ActivityCursor cursor;
+//   cursor.bind(block);
+//   for (t in increasing probe times) cursor.active(addr, t);
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/block_profile.h"
+#include "sim/schedule.h"
+
+namespace diurnal::sim {
+
+class ActivityCursor {
+ public:
+  ActivityCursor() = default;
+
+  /// Binds the cursor to a block and resets the time-window state.  The
+  /// time monotonicity requirement restarts: the next active() call may
+  /// use any time.  The block must outlive the binding and must not be
+  /// mutated between binds: rebinding the same (unchanged) profile keeps
+  /// the per-address caches, which is what makes probing one block from
+  /// many observers back-to-back cheap — every observer re-asks the same
+  /// (address, day) and (address, slot) questions.
+  void bind(const BlockProfile& block);
+
+  /// Equivalent to address_active(block, addr, t), provided t is
+  /// non-decreasing across calls since bind().
+  bool active(int addr, util::SimTime t) noexcept;
+
+  /// Register-resident snapshot of the hot path for callers that probe
+  /// in a tight loop.  When `row` is non-null, every address of the
+  /// block takes the hour-mask path for times in [-, until), and
+  /// `(row[addr] >> hour) & 1` equals active(addr, t) — the caller keeps
+  /// row/hour in registers instead of re-loading cursor members per
+  /// probe (the observation stores in the probe loop are may-alias
+  /// writes, so the compiler cannot hoist those loads itself).  When
+  /// `row` is null (slot sessions, renumber mirror, outages, dead
+  /// blocks), fall back to active() per probe; `until` still bounds the
+  /// window so the caller re-snapshots at the same boundaries either
+  /// way.
+  struct FastView {
+    const std::uint32_t* row;
+    int hour;
+    util::SimTime until;
+    /// End of the stable window: `row` (and the block state it encodes)
+    /// is valid until here — at most the next local midnight — while
+    /// `hour` is only valid until `until`.  Callers that span multiple
+    /// hours may advance the hour shift themselves (local-hour
+    /// boundaries are absolute-hour aligned) up to this bound.
+    util::SimTime stable_until;
+    /// Identity of `row`'s content (day in bits 32+, plus the
+    /// suppression/vacate/occupancy state): two snapshots with equal
+    /// keys see identical rows, so callers may key derived caches on
+    /// it.  Only meaningful when `row` is non-null.
+    std::uint64_t row_key;
+  };
+
+  /// Advances the window to t (same contract as active()) and returns
+  /// the snapshot for it.
+  FastView fast_view(util::SimTime t) noexcept;
+
+  /// The currently bound block (nullptr before the first bind()).
+  const BlockProfile* block() const noexcept { return block_; }
+
+ private:
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::min();
+  static constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+  /// 64 consecutive slot-session draws for one address, covering slots
+  /// [word*64, word*64 + 64).  Slot draws are pure functions of
+  /// (h1, slot), so cached words survive observer passes that re-sweep
+  /// the window from the start — the dominant probe pattern, where each
+  /// of the fleet's observers re-asks the same (address, slot) question.
+  struct SlotCache {
+    std::int64_t word = kNever;  ///< slot >> 6 this entry covers
+    std::uint64_t valid = 0;     ///< bit (slot & 63): draw cached
+    std::uint64_t up = 0;        ///< bit (slot & 63): cached answer
+  };
+
+  struct AddrState {
+    /// Cached first derive_seed round of every (seed, addr, ...) hash
+    /// chain for this address (schedule::addr_stage); set by bind() and
+    /// re-derived when a renumbering flips the seed.
+    std::uint64_t h1 = 0;
+    /// Epoch-keyed device schedule: valid for local days
+    /// [epoch_from, epoch_from + schedule::kEpochDays).  32 bits keeps
+    /// the whole struct small (local day indices are tiny).
+    std::int32_t epoch_from = std::numeric_limits<std::int32_t>::min();
+    /// Server-farm address kind: -1 unknown, 0 mask path, 1 churny slot.
+    std::int8_t kind = -1;
+    /// Stale-E(b) draw: -1 unknown, else 0/1 (per seed phase).
+    std::int8_t stale = -1;
+    bool dormant = false;
+    std::uint8_t open_hour = 0;   // workday arrival / home evening start
+    std::uint8_t close_hour = 0;  // workday departure
+  };
+  static_assert(sizeof(AddrState) == 24);
+
+  /// Advances the time window to t (hot, inline below); the cold
+  /// refresh paths live in the .cc.
+  void advance(util::SimTime t) noexcept;
+
+  void reset_addr_states() noexcept;
+  void refresh_window(util::SimTime t) noexcept;
+  void refresh_suppression(util::SimTime t) noexcept;
+  void refresh_outage(util::SimTime t) noexcept;
+  void refresh_epoch(AddrState& s, int addr, bool home) noexcept;
+  std::uint32_t compute_mask(AddrState& s, int addr) noexcept;
+  std::uint32_t server_mask(const AddrState& s,
+                            std::uint64_t restart_thr) noexcept;
+  std::uint32_t workday_mask(AddrState& s, int addr) noexcept;
+  std::uint32_t home_mask(AddrState& s, int addr) noexcept;
+
+  // Warm paths, inlined into active(): a slot-session fill is one staged
+  // hash, and trinocular's rotating target cursor revisits a slotted
+  // address only every few hours, so these run for a sizable share of
+  // probes.
+  bool is_stale(AddrState& s) noexcept {
+    if (s.stale < 0) {
+      s.stale = static_cast<double>(schedule::stale_hash(s.h1) >> 11) *
+                            0x1.0p-53 >
+                        current_fraction_
+                    ? 1
+                    : 0;
+    }
+    return s.stale != 0;
+  }
+  /// Server-farm address kind memo (0 = stable mask path, 1 = churny
+  /// slot sessions); shared by active() and compute_mask so both paths
+  /// resolve the draw identically.
+  int farm_kind(AddrState& s) noexcept {
+    if (s.kind < 0) {
+      s.kind = (check_stale_ && is_stale(s))
+                   ? 0  // stale: never answers; mask path yields 0
+                   : (schedule::hash_chance(schedule::farm_kind_hash(s.h1),
+                                            0.55)
+                          ? 1
+                          : 0);
+    }
+    return s.kind;
+  }
+  void fill_slot(AddrState& s, SlotCache& sc, std::int64_t slot,
+                 std::uint64_t bit) noexcept {
+    sc.valid |= bit;
+    if (check_stale_ && is_stale(s)) return;  // stale targets never answer
+    const std::uint64_t h = farm_ ? schedule::churny_hash(s.h1, slot)
+                                  : schedule::intermittent_hash(s.h1, slot);
+    if ((h >> 11) < thr_slot_) sc.up |= bit;
+  }
+
+  const BlockProfile* block_ = nullptr;
+
+  // Flattened block facts (avoids chasing the profile pointer per probe).
+  int eb_ = 0;
+  int always_on_ = 0;
+  int vacate_keep_ = 0;
+  BlockCategory category_ = BlockCategory::kUnused;
+  bool dead_ = true;          // unused/firewalled: never answers
+  bool check_stale_ = false;  // current_fraction < 1
+  bool slotted_ = false;      // intermittent or server-farm: slot sessions
+  bool farm_ = false;
+  bool uses_suppression_ = false;  // mixed/office/university/home
+  util::SimTime vacate_at_ = -1;
+  util::SimTime renumber_at_ = -1;
+  util::SimTime renumber_appear_ = -1;  // renumber_at + gap
+  util::SimTime occupied_from_ = -1;
+  util::SimTime occupied_until_ = -1;
+  util::SimTime tz_seconds_ = 0;
+  std::uint64_t seed_ = 0;  // current-phase seed (flips at renumbering)
+  bool renumbered_ = false;
+  double base_attendance_ = 0.0;
+  double current_fraction_ = 1.0;
+
+  // Precomputed hash_chance acceptance thresholds
+  // (schedule::chance_threshold).  The slot/server probabilities are
+  // fixed per block, so bind() derives them once.
+  std::uint64_t thr_slot_ = 0;         ///< churny 0.75 / intermittent 0.45
+  std::uint64_t thr_server_on_ = 0;    ///< always-on restart draw (0.01)
+  std::uint64_t thr_server_farm_ = 0;  ///< stable-farm restart draw (0.04)
+
+  // Slot-session day expansion: the 6h/8h slots overlapping the current
+  // local day and the hours each covers.  Slot boundaries are whole-hour
+  // aligned, so a slotted address's activity over one day collapses to
+  // an hour mask over at most five slot draws — which lets day rows
+  // cover slot-session addresses too and keeps whole blocks on the
+  // mask fast path.  Only derived for nonnegative days (the slot index
+  // uses truncating division, which is per-hour constant only there);
+  // slot_rows_ok_ gates both the expansion and fast_view's row.
+  bool slot_rows_ok_ = false;
+  int n_segs_ = 0;
+  std::int64_t seg_slot_[5] = {};
+  std::uint32_t seg_mask_[5] = {};
+
+  // ---- Fast-window state: constant for t in [-, fast_until_). ----
+  util::SimTime fast_until_ = kNever;
+  /// Day, suppression/outage state, and structural state are constant up
+  /// to here; window refreshes below it only re-derive the hour and slot
+  /// indices (the cheap "hour tick").
+  util::SimTime stable_until_ = kNever;
+  bool plain_ = false;  ///< false: take the stateless oracle (rare states)
+  bool flip_ = false;   ///< post-renumber population: mirror the address
+  /// Addresses >= this take the slot-session path.  Folds the whole gate
+  /// (slotted block, not vacated, humans present, addr past the
+  /// always-on prefix) into one compare; INT_MAX when slot sessions are
+  /// off for the current window.
+  int slot_gate_lo_ = std::numeric_limits<int>::max();
+  /// addr range guard for the probe path: 0 for dead blocks (unused /
+  /// firewalled never answer), else eb_.
+  int addr_limit_ = 0;
+  std::uint64_t row_key_ = 0;  ///< (day, sup generation, structural bits)
+  std::int64_t clock_day_ = 0;
+  int clock_hour_ = 0;
+  bool clock_workday_ = false;
+  bool vacated_ = false;
+  bool humans_absent_ = false;  ///< outside the occupancy window
+  std::int64_t slot6_ = 0;      ///< intermittent slot index at current t
+  std::int64_t slot8_ = 0;      ///< churny slot index at current t
+  // Absolute-hour phase within the 6h/8h slots; lets the inline hour
+  // tick advance the slot indices without dividing.  Valid for t >= 0
+  // (negative times always take the full refresh).
+  std::int32_t h6_ = 0;
+  std::int32_t h8_ = 0;
+
+  // Presence-draw thresholds for the current day row: the attendance
+  // scales fold the day's suppression state and weekday bit, so the
+  // per-address mask fills are left with one staged hash and one integer
+  // compare.  Recomputed alongside row_key_.
+  std::uint64_t thr_presence_ = 0;      ///< workday/weekend presence draw
+  std::uint64_t thr_home_evening_ = 0;  ///< home evening presence draw
+  std::uint64_t thr_home_wfh_ = 0;      ///< home WFH daytime presence draw
+
+  // Active-suppression memo, valid for t in [-, sup_valid_until_).
+  util::SimTime sup_valid_until_ = kNever;
+  double sup_residual_ = 1.0;
+  bool sup_wfh_ = false;
+  bool sup_any_ = false;
+  std::uint32_t sup_gen_ = 0;  // bumped on change; keys cached masks
+
+  // Whole-block-outage memo, valid for t in [-, outage_valid_until_).
+  util::SimTime outage_valid_until_ = kNever;
+  bool outage_active_ = false;
+  std::size_t outage_begin_ = 0;  // outages before this index have ended
+
+  std::vector<AddrState> addrs_;
+  /// Slot-session draws, 4 direct-mapped words per address at
+  /// [addr * 4 + ((slot >> 6) & 3)]; four words span 64 days of 6-hour
+  /// slots (85 of 8-hour ones), longer than any dataset window, so
+  /// re-sweeps of one window never evict each other.  Kept out of
+  /// AddrState so the (much more common) hour-mask blocks keep a dense
+  /// stride: a survey pass touches every AddrState each round, and the
+  /// per-round working set should stay inside L1.
+  std::vector<SlotCache> slot_caches_;
+
+  /// Hour-mask day table: kDaySlots direct-mapped rows of eb_ masks at
+  /// [(day & (kDaySlots-1)) * eb_], validated by day_keys_ holding the
+  /// row key (which embeds the day, so wrap-around collisions on
+  /// windows longer than kDaySlots days just refill).  Rows are filled
+  /// whole when refresh_window enters a new day row and survive rebinds
+  /// to the same profile, so the fleet's later observer passes re-read
+  /// every (address, day) answer without re-deriving a single hash —
+  /// and the per-probe path is one dense 4-byte load plus a shift, with
+  /// no per-address key check at all.
+  static constexpr std::size_t kDaySlots = 256;
+  std::vector<std::uint32_t> day_masks_;
+  std::vector<std::uint64_t> day_keys_;
+  /// Current day row (day_masks_ + slot * eb_); set by refresh_window
+  /// whenever plain_ is true and the block can answer, i.e. before any
+  /// mask read.
+  const std::uint32_t* row_masks_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Hot path.  Kept in the header so probe loops inline it.  In the steady
+// state this is: one boundary compare, two range checks, one row-key
+// compare, one shift.
+// ---------------------------------------------------------------------------
+
+inline void ActivityCursor::advance(util::SimTime t) noexcept {
+  if (t >= fast_until_) [[unlikely]] {
+    // Hour tick: fast_until_ is a (positive) local-hour boundary and t
+    // sits in the hour right after it, still inside the stable window —
+    // only the hour and slot phase counters move.  Everything else
+    // (including negative times, where truncating slot division and
+    // floor hour boundaries disagree) takes the full refresh.
+    if (t < stable_until_ && fast_until_ > 0 && t - fast_until_ < 3600) {
+      ++clock_hour_;
+      if (++h6_ == 6) {
+        h6_ = 0;
+        ++slot6_;
+      }
+      if (++h8_ == 8) {
+        h8_ = 0;
+        ++slot8_;
+      }
+      fast_until_ += 3600;
+      if (fast_until_ > stable_until_) fast_until_ = stable_until_;
+    } else {
+      refresh_window(t);
+    }
+  }
+}
+
+inline ActivityCursor::FastView ActivityCursor::fast_view(
+    util::SimTime t) noexcept {
+  advance(t);
+  // The whole block takes the mask path when the window is plain (no
+  // outage/renumber gap), un-mirrored, alive, and any live slot-session
+  // addresses were expanded into the day row (slot_rows_ok_; always true
+  // for nonnegative days).  slot_gate_lo_ folds slotted/vacated/
+  // occupancy into one value, so >= eb_ means no slot sessions at all.
+  const bool whole_block_masks = plain_ && !flip_ && addr_limit_ == eb_ &&
+                                 eb_ > 0 &&
+                                 (slot_gate_lo_ >= eb_ || slot_rows_ok_);
+  return FastView{whole_block_masks ? row_masks_ : nullptr, clock_hour_,
+                  fast_until_, stable_until_, row_key_};
+}
+
+inline bool ActivityCursor::active(int addr, util::SimTime t) noexcept {
+  advance(t);
+  if (static_cast<unsigned>(addr) >= static_cast<unsigned>(addr_limit_))
+      [[unlikely]] {
+    return false;  // out of range, or a dead block that never answers
+  }
+  if (!plain_) [[unlikely]] {
+    return address_active(*block_, addr, t);  // rare block states
+  }
+  if (flip_) [[unlikely]] addr = eb_ - 1 - addr;  // post-renumber population
+
+  if (addr >= slot_gate_lo_) {
+    // Intermittent blocks and churny server-farm leases flip per slot,
+    // not per hour; always-on and stable-farm addresses fall through to
+    // the hour-mask path below.
+    AddrState& s = addrs_[static_cast<std::size_t>(addr)];
+    const bool slot_addr = !farm_ || farm_kind(s) == 1;
+    if (slot_addr) {
+      const std::int64_t slot = farm_ ? slot8_ : slot6_;
+      const std::int64_t word = slot >> 6;
+      SlotCache& sc = slot_caches_[static_cast<std::size_t>(addr) * 4 +
+                                   static_cast<std::size_t>(word & 3)];
+      const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+      if (sc.word != word) {
+        sc.word = word;
+        sc.valid = 0;
+        sc.up = 0;
+      }
+      if (!(sc.valid & bit)) fill_slot(s, sc, slot, bit);
+      return (sc.up & bit) != 0;
+    }
+  }
+
+  // refresh_window filled this day row before any mask read; no
+  // per-address key check or AddrState load on the steady-state path.
+  return (row_masks_[addr] >> clock_hour_) & 1u;
+}
+
+}  // namespace diurnal::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/schedule.h"
 #include "util/rng.h"
 
 namespace diurnal::sim {
@@ -30,32 +31,8 @@ bool is_diurnal_category(BlockCategory c) noexcept {
 
 namespace {
 
-// 2019-10-01 (simulation epoch) was a Tuesday; with 0 = Sunday that is 2.
-constexpr std::int64_t kEpochWeekday = 2;
-
-struct LocalClock {
-  std::int64_t day;   // local day index (can be negative near t = 0)
-  int hour;           // 0..23 local
-  int weekday;        // 0 = Sunday .. 6 = Saturday
-  bool workday;       // Monday..Friday
-};
-
-LocalClock local_clock(const BlockProfile& b, SimTime t) noexcept {
-  const SimTime local = t + static_cast<SimTime>(b.tz_offset_hours) * 3600;
-  std::int64_t day = local / util::kSecondsPerDay;
-  std::int64_t rem = local % util::kSecondsPerDay;
-  if (rem < 0) {
-    rem += util::kSecondsPerDay;
-    --day;
-  }
-  const int wd = static_cast<int>(((day + kEpochWeekday) % 7 + 7) % 7);
-  return LocalClock{day, static_cast<int>(rem / 3600), wd, wd >= 1 && wd <= 5};
-}
-
-// Deterministic bernoulli from a 64-bit hash.
-inline bool hash_chance(std::uint64_t h, double p) noexcept {
-  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
-}
+using schedule::hash_chance;
+using schedule::LocalClock;
 
 // Active suppression (if any) at time t; WFH-kind beats shorter events
 // only through the min() of residuals.
@@ -82,7 +59,8 @@ ActiveSuppression suppression_at(const BlockProfile& b, SimTime t) noexcept {
 // even its presence only persist for a few weeks.  This is what makes
 // diurnality decohere over long observation windows (the paper's
 // duration effect in Tables 2 and 3).  Epochs are staggered per device
-// so churn never produces a block-wide step.
+// so churn never produces a block-wide step.  The epoch math lives in
+// sim/schedule.h, shared with ActivityCursor.
 struct DeviceEpoch {
   std::int64_t epoch;
   bool dormant;
@@ -90,50 +68,32 @@ struct DeviceEpoch {
 
 DeviceEpoch device_epoch(std::uint64_t seed, int addr,
                          std::int64_t local_day) noexcept {
-  constexpr std::int64_t kEpochDays = 21;
-  const std::uint64_t stagger =
-      util::derive_seed(seed, static_cast<std::uint64_t>(addr), 0x0E77u);
-  const std::int64_t shifted =
-      local_day + static_cast<std::int64_t>(stagger % kEpochDays);
-  std::int64_t epoch = shifted / kEpochDays;
-  if (shifted < 0 && shifted % kEpochDays != 0) --epoch;
-  const std::uint64_t h = util::derive_seed(
-      seed, static_cast<std::uint64_t>(addr),
-      static_cast<std::uint64_t>(epoch), 0xC0DEu);
-  return DeviceEpoch{epoch, hash_chance(h, 0.04)};
+  const std::int64_t epoch =
+      schedule::epoch_of_day(local_day, schedule::epoch_stagger(seed, addr));
+  return DeviceEpoch{epoch, schedule::epoch_dormant(seed, addr, epoch)};
 }
 
 // Work-week machine: on during office hours of attended workdays.
 bool workday_device_active(const BlockProfile& b, std::uint64_t seed, int addr,
                            const LocalClock& lc, double attendance_scale,
                            double weekend_attendance) noexcept {
-  const DeviceEpoch ep = device_epoch(seed, addr, lc.day);
+  const auto ep = device_epoch(seed, addr, lc.day);
   if (ep.dormant) return false;
-  const std::uint64_t device = util::derive_seed(
-      seed, 0x0FF1CEu ^ (static_cast<std::uint64_t>(ep.epoch) << 20),
-      static_cast<std::uint64_t>(addr));
-  const int arrival = 7 + static_cast<int>(device % 3);            // 7..9
-  const int departure = 16 + static_cast<int>((device >> 8) % 4);  // 16..19
-  if (lc.hour < arrival || lc.hour >= departure) return false;
+  const auto hours = schedule::work_hours(seed, ep.epoch, addr);
+  if (lc.hour < hours.arrival || lc.hour >= hours.departure) return false;
   const double base = lc.workday
                           ? static_cast<double>(b.base_attendance) * attendance_scale
                           : weekend_attendance;
-  const std::uint64_t day_h =
-      util::derive_seed(seed, static_cast<std::uint64_t>(addr),
-                        static_cast<std::uint64_t>(lc.day), 0x0DA7u);
-  return hash_chance(day_h, base);
+  return hash_chance(schedule::workday_presence_hash(seed, addr, lc.day), base);
 }
 
 // Evening/home device on a public dynamic IP.
 bool home_device_active(const BlockProfile& b, std::uint64_t seed, int addr,
                         const LocalClock& lc, bool wfh_boost,
                         double presence_scale) noexcept {
-  const DeviceEpoch ep = device_epoch(seed, addr, lc.day);
+  const auto ep = device_epoch(seed, addr, lc.day);
   if (ep.dormant) return false;
-  const std::uint64_t device = util::derive_seed(
-      seed, 0x40ABCDu ^ (static_cast<std::uint64_t>(ep.epoch) << 20),
-      static_cast<std::uint64_t>(addr));
-  const int evening_start = 16 + static_cast<int>(device % 3);  // 16..18
+  const int evening_start = schedule::evening_start_hour(seed, ep.epoch, addr);
   const bool weekend = !lc.workday;
   bool in_window = lc.hour >= evening_start && lc.hour <= 23;
   if (weekend && lc.hour >= 9) in_window = true;
@@ -144,36 +104,27 @@ bool home_device_active(const BlockProfile& b, std::uint64_t seed, int addr,
     presence = 0.70;
   }
   if (!in_window) return false;
-  const std::uint64_t day_h =
-      util::derive_seed(seed, static_cast<std::uint64_t>(addr),
-                        static_cast<std::uint64_t>(lc.day), 0x803Eu);
-  return hash_chance(day_h, presence * presence_scale * b.base_attendance);
+  return hash_chance(schedule::home_presence_hash(seed, addr, lc.day),
+                     presence * presence_scale * b.base_attendance);
 }
 
 // Random multi-hour sessions (6-hour slots).
 bool intermittent_active(std::uint64_t seed, int addr, SimTime t) noexcept {
-  const std::int64_t slot = t / (6 * util::kSecondsPerHour);
-  const std::uint64_t h = util::derive_seed(
-      seed, static_cast<std::uint64_t>(addr), static_cast<std::uint64_t>(slot),
-      0x51D3u);
-  return hash_chance(h, 0.45);
+  return hash_chance(
+      schedule::intermittent_hash(seed, addr, schedule::intermittent_slot(t)),
+      0.45);
 }
 
-// DHCP-churny address: multi-hour random sessions (12-hour slots).
+// DHCP-churny address: multi-hour random sessions (8-hour slots).
 bool churny_active(std::uint64_t seed, int addr, SimTime t) noexcept {
-  const std::int64_t slot = t / (8 * util::kSecondsPerHour);
-  const std::uint64_t h = util::derive_seed(
-      seed, static_cast<std::uint64_t>(addr), static_cast<std::uint64_t>(slot),
-      0xD4C9u);
-  return hash_chance(h, 0.75);
+  return hash_chance(
+      schedule::churny_hash(seed, addr, schedule::churny_slot(t)), 0.75);
 }
 
 // Always-on server with occasional restart windows.
 bool server_active(std::uint64_t seed, int addr, const LocalClock& lc,
                    double restart_prob) noexcept {
-  const std::uint64_t day_h =
-      util::derive_seed(seed, static_cast<std::uint64_t>(addr),
-                        static_cast<std::uint64_t>(lc.day), 0x5E4Bu);
+  const std::uint64_t day_h = schedule::server_day_hash(seed, addr, lc.day);
   if (!hash_chance(day_h, restart_prob)) return true;
   const int restart_hour = static_cast<int>((day_h >> 32) % 24);
   return lc.hour != restart_hour;
@@ -196,13 +147,13 @@ bool address_active(const BlockProfile& b, int addr, SimTime t) noexcept {
   }
   std::uint64_t seed = b.seed;
   if (b.renumber_at >= 0 && t >= b.renumber_at) {
-    if (t < b.renumber_at + 4 * util::kSecondsPerHour) return false;  // gap
+    if (t < b.renumber_at + schedule::kRenumberGap) return false;  // gap
     // A different population appears after renumbering.
-    seed = util::mix64(seed ^ 0xC0FFEEULL);
+    seed = schedule::renumbered_seed(seed);
     addr = static_cast<int>(b.eb_count) - 1 - addr;
   }
 
-  const LocalClock lc = local_clock(b, t);
+  const LocalClock lc = schedule::local_clock(b, t);
   if (addr < static_cast<int>(b.always_on)) {
     return server_active(seed, addr, lc, 0.01);
   }
@@ -217,8 +168,7 @@ bool address_active(const BlockProfile& b, int addr, SimTime t) noexcept {
   // Stale E(b) entries: targets that responded in the past but are no
   // longer in use never answer now.
   if (b.current_fraction < 1.0f) {
-    const std::uint64_t h =
-        util::derive_seed(seed, static_cast<std::uint64_t>(addr), 0x57A1Eu);
+    const std::uint64_t h = schedule::stale_hash(seed, addr);
     if (static_cast<double>(h >> 11) * 0x1.0p-53 >
         static_cast<double>(b.current_fraction)) {
       return false;
@@ -231,8 +181,7 @@ bool address_active(const BlockProfile& b, int addr, SimTime t) noexcept {
       // Hosting farms mix stable servers with dynamically leased hosts;
       // the churny share gives many non-diurnal blocks the wide daily
       // swings Table 2 reports.
-      const std::uint64_t kind_h =
-          util::derive_seed(seed, static_cast<std::uint64_t>(addr), 0xFA23u);
+      const std::uint64_t kind_h = schedule::farm_kind_hash(seed, addr);
       if (hash_chance(kind_h, 0.55)) return churny_active(seed, addr, t);
       return server_active(seed, addr, lc, 0.04);
     }

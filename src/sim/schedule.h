@@ -1,0 +1,224 @@
+// Shared device-schedule primitives for the activity oracle.
+//
+// Two call sites must derive the exact same hash chains: the stateless
+// oracle `sim::address_active` (block_profile.cc) and its monotone-time
+// cache `sim::ActivityCursor` (activity_cursor.{h,cc}).  Keeping every
+// formula and hash label here is what keeps the two bit-identical; the
+// equivalence is additionally enforced by the ActivityCursor property
+// tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/block_profile.h"
+#include "util/date.h"
+#include "util/rng.h"
+
+namespace diurnal::sim::schedule {
+
+// 2019-10-01 (simulation epoch) was a Tuesday; with 0 = Sunday that is 2.
+inline constexpr std::int64_t kEpochWeekday = 2;
+
+struct LocalClock {
+  std::int64_t day;  // local day index (can be negative near t = 0)
+  int hour;          // 0..23 local
+  int weekday;       // 0 = Sunday .. 6 = Saturday
+  bool workday;      // Monday..Friday
+};
+
+inline LocalClock local_clock(const BlockProfile& b,
+                              util::SimTime t) noexcept {
+  const util::SimTime local =
+      t + static_cast<util::SimTime>(b.tz_offset_hours) * 3600;
+  std::int64_t day = local / util::kSecondsPerDay;
+  std::int64_t rem = local % util::kSecondsPerDay;
+  if (rem < 0) {
+    rem += util::kSecondsPerDay;
+    --day;
+  }
+  const int wd = static_cast<int>(((day + kEpochWeekday) % 7 + 7) % 7);
+  return LocalClock{day, static_cast<int>(rem / 3600), wd, wd >= 1 && wd <= 5};
+}
+
+// Deterministic bernoulli from a 64-bit hash.
+inline bool hash_chance(std::uint64_t h, double p) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+// Integer acceptance threshold T with hash_chance(h, p) == ((h >> 11) < T).
+// (h >> 11) is a 53-bit integer, exactly representable as a double, and
+// scaling by 2^53 only shifts the exponent, so the comparison boundary is
+// preserved exactly.  Callers whose p is fixed across many draws hoist
+// the threshold and replace a convert+multiply+compare with one integer
+// compare per draw.
+inline std::uint64_t chance_threshold(double p) noexcept {
+  return p > 0.0 ? static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53)) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Staged hashing.  Every per-address hash below is
+// `derive_seed(seed, addr, b, c) = mix64(mix64(mix64(seed ^ addr) ^ b) ^ c)`,
+// so the first round depends only on (seed, addr).  Callers that hash the
+// same address repeatedly (the ActivityCursor, the prober's loss draws)
+// cache `addr_stage` once and finish with `stage_hash`; the composition is
+// operation-for-operation identical to derive_seed.
+// ---------------------------------------------------------------------------
+
+/// First derive_seed round of a (seed, addr, ...) chain.
+inline std::uint64_t addr_stage(std::uint64_t seed, int addr) noexcept {
+  return util::mix64(seed ^ static_cast<std::uint64_t>(addr));
+}
+
+/// Remaining two derive_seed rounds on a cached addr_stage value.
+inline std::uint64_t stage_hash(std::uint64_t h1, std::uint64_t b,
+                                std::uint64_t c) noexcept {
+  return util::mix64(util::mix64(h1 ^ b) ^ c);
+}
+
+// ---------------------------------------------------------------------------
+// Device-population churn epochs (see block_profile.cc for the rationale).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kEpochDays = 21;
+
+/// Per-device epoch stagger hash; `stagger % kEpochDays` offsets the
+/// device's epoch boundaries so churn never produces a block-wide step.
+inline std::uint64_t epoch_stagger(std::uint64_t h1) noexcept {
+  return stage_hash(h1, 0x0E77u, 0);
+}
+inline std::uint64_t epoch_stagger(std::uint64_t seed, int addr) noexcept {
+  return epoch_stagger(addr_stage(seed, addr));
+}
+
+/// Epoch index of a local day given the device's stagger (floor division).
+inline std::int64_t epoch_of_day(std::int64_t local_day,
+                                 std::uint64_t stagger) noexcept {
+  const std::int64_t shifted =
+      local_day + static_cast<std::int64_t>(stagger % kEpochDays);
+  std::int64_t epoch = shifted / kEpochDays;
+  if (shifted < 0 && shifted % kEpochDays != 0) --epoch;
+  return epoch;
+}
+
+/// Whether the device sits out this entire epoch (left the population).
+inline bool epoch_dormant(std::uint64_t h1, std::int64_t epoch) noexcept {
+  return hash_chance(stage_hash(h1, static_cast<std::uint64_t>(epoch), 0xC0DEu),
+                     0.04);
+}
+inline bool epoch_dormant(std::uint64_t seed, int addr,
+                          std::int64_t epoch) noexcept {
+  return epoch_dormant(addr_stage(seed, addr), epoch);
+}
+
+// ---------------------------------------------------------------------------
+// Per-epoch device schedules.
+// ---------------------------------------------------------------------------
+
+struct WorkHours {
+  int arrival;    // 7..9
+  int departure;  // 16..19
+};
+
+inline WorkHours work_hours(std::uint64_t seed, std::int64_t epoch,
+                            int addr) noexcept {
+  const std::uint64_t device = util::derive_seed(
+      seed, 0x0FF1CEu ^ (static_cast<std::uint64_t>(epoch) << 20),
+      static_cast<std::uint64_t>(addr));
+  return WorkHours{7 + static_cast<int>(device % 3),
+                   16 + static_cast<int>((device >> 8) % 4)};
+}
+
+inline int evening_start_hour(std::uint64_t seed, std::int64_t epoch,
+                              int addr) noexcept {
+  const std::uint64_t device = util::derive_seed(
+      seed, 0x40ABCDu ^ (static_cast<std::uint64_t>(epoch) << 20),
+      static_cast<std::uint64_t>(addr));
+  return 16 + static_cast<int>(device % 3);
+}
+
+// ---------------------------------------------------------------------------
+// Per-day and per-slot presence hashes.
+// ---------------------------------------------------------------------------
+
+inline std::uint64_t workday_presence_hash(std::uint64_t h1,
+                                           std::int64_t day) noexcept {
+  return stage_hash(h1, static_cast<std::uint64_t>(day), 0x0DA7u);
+}
+inline std::uint64_t workday_presence_hash(std::uint64_t seed, int addr,
+                                           std::int64_t day) noexcept {
+  return workday_presence_hash(addr_stage(seed, addr), day);
+}
+
+inline std::uint64_t home_presence_hash(std::uint64_t h1,
+                                        std::int64_t day) noexcept {
+  return stage_hash(h1, static_cast<std::uint64_t>(day), 0x803Eu);
+}
+inline std::uint64_t home_presence_hash(std::uint64_t seed, int addr,
+                                        std::int64_t day) noexcept {
+  return home_presence_hash(addr_stage(seed, addr), day);
+}
+
+/// Always-on server restart draw: if `hash_chance(h, restart_prob)` the
+/// server restarts this day, during hour `(h >> 32) % 24`.
+inline std::uint64_t server_day_hash(std::uint64_t h1,
+                                     std::int64_t day) noexcept {
+  return stage_hash(h1, static_cast<std::uint64_t>(day), 0x5E4Bu);
+}
+inline std::uint64_t server_day_hash(std::uint64_t seed, int addr,
+                                     std::int64_t day) noexcept {
+  return server_day_hash(addr_stage(seed, addr), day);
+}
+
+/// Random multi-hour sessions (6-hour slots), probability 0.45.
+inline std::int64_t intermittent_slot(util::SimTime t) noexcept {
+  return t / (6 * util::kSecondsPerHour);
+}
+
+inline std::uint64_t intermittent_hash(std::uint64_t h1,
+                                       std::int64_t slot) noexcept {
+  return stage_hash(h1, static_cast<std::uint64_t>(slot), 0x51D3u);
+}
+inline std::uint64_t intermittent_hash(std::uint64_t seed, int addr,
+                                       std::int64_t slot) noexcept {
+  return intermittent_hash(addr_stage(seed, addr), slot);
+}
+
+/// DHCP-churny address sessions (8-hour slots), probability 0.75.
+inline std::int64_t churny_slot(util::SimTime t) noexcept {
+  return t / (8 * util::kSecondsPerHour);
+}
+
+inline std::uint64_t churny_hash(std::uint64_t h1, std::int64_t slot) noexcept {
+  return stage_hash(h1, static_cast<std::uint64_t>(slot), 0xD4C9u);
+}
+inline std::uint64_t churny_hash(std::uint64_t seed, int addr,
+                                 std::int64_t slot) noexcept {
+  return churny_hash(addr_stage(seed, addr), slot);
+}
+
+/// Stale-E(b) draw: an address no longer in use never answers.
+inline std::uint64_t stale_hash(std::uint64_t h1) noexcept {
+  return stage_hash(h1, 0x57A1Eu, 0);
+}
+inline std::uint64_t stale_hash(std::uint64_t seed, int addr) noexcept {
+  return stale_hash(addr_stage(seed, addr));
+}
+
+/// Server-farm address kind: churny lease (0.55) vs stable server.
+inline std::uint64_t farm_kind_hash(std::uint64_t h1) noexcept {
+  return stage_hash(h1, 0xFA23u, 0);
+}
+inline std::uint64_t farm_kind_hash(std::uint64_t seed, int addr) noexcept {
+  return farm_kind_hash(addr_stage(seed, addr));
+}
+
+/// Seed of the population that appears after ISP renumbering.
+inline std::uint64_t renumbered_seed(std::uint64_t seed) noexcept {
+  return util::mix64(seed ^ 0xC0FFEEULL);
+}
+
+/// Renumbering silence gap before the new population appears.
+inline constexpr util::SimTime kRenumberGap = 4 * util::kSecondsPerHour;
+
+}  // namespace diurnal::sim::schedule

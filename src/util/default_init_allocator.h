@@ -1,0 +1,45 @@
+// Allocator adaptor that default-initializes elements created without
+// arguments, instead of value-initializing them.  For trivially-copyable
+// scratch elements this turns vector::resize(n) into a pure size change
+// (no memset of storage the caller is about to overwrite), which matters
+// in the probe hot path where per-pass output buffers are grown to a
+// worst-case size and then filled through a bare pointer.
+//
+// Elements are indeterminate after such a resize; callers must write
+// before reading, and must trim the vector to the written length.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace diurnal::util {
+
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using Traits = std::allocator_traits<A>;
+
+ public:
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename Traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* p) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;  // default-init: trivial types untouched
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    Traits::construct(static_cast<A&>(*this), p, std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace diurnal::util

@@ -4,30 +4,12 @@
 
 namespace diurnal::util {
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t mix64(std::uint64_t x) noexcept { return splitmix64(x); }
-
 std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept {
   std::uint64_t h = seed ^ 0xA0761D6478BD642FULL;
   for (const char c : label) {
     h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
     h = mix64(h);
   }
-  return h;
-}
-
-std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
-                          std::uint64_t c) noexcept {
-  std::uint64_t h = seed;
-  h = mix64(h ^ a);
-  h = mix64(h ^ b);
-  h = mix64(h ^ c);
   return h;
 }
 

@@ -11,18 +11,32 @@
 namespace diurnal::util {
 
 /// splitmix64 step; used for seeding and cheap stateless hashing.
-std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+/// Inline: these run several times per simulated probe, so the activity
+/// oracle and prober hot loops must not pay a call per hash.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 /// Stateless 64-bit mix of a value (one splitmix64 round).
-std::uint64_t mix64(std::uint64_t x) noexcept;
+inline std::uint64_t mix64(std::uint64_t x) noexcept { return splitmix64(x); }
 
 /// Combines a seed with a label to derive an independent stream seed.
 std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept;
 
 /// Combines a seed with up to three integer coordinates (block, address,
 /// day, ...) into an independent stream seed.
-std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
-                          std::uint64_t b = 0, std::uint64_t c = 0) noexcept;
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b = 0,
+                                 std::uint64_t c = 0) noexcept {
+  std::uint64_t h = seed;
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  return h;
+}
 
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
 /// Satisfies (most of) UniformRandomBitGenerator.

@@ -9,6 +9,8 @@
 #include "core/datasets.h"
 #include "core/detect.h"
 #include "core/metrics.h"
+#include "core/pipeline.h"
+#include "sim/world.h"
 #include "util/rng.h"
 
 namespace diurnal::core {
@@ -274,6 +276,71 @@ TEST(Aggregate, ClampsOutOfWindowTimes) {
 TEST(Metrics, VerdictNames) {
   EXPECT_EQ(to_string(BlockVerdict::kTruePositive), "true-positive");
   EXPECT_EQ(to_string(BlockVerdict::kNoCusum), "no-CUSUM");
+}
+
+TEST(Fleet, ThreadCountDoesNotChangeResults) {
+  // The chunked work-stealing scheduler must be invisible in the output:
+  // a fixed-seed world run single-threaded and with 8 workers has to
+  // produce bit-identical FleetResults (block order, classifications,
+  // and every detected-change field).
+  sim::WorldConfig wc;
+  wc.num_blocks = 120;
+  wc.seed = 21;
+  const sim::World world(wc);
+
+  FleetConfig fc;
+  fc.dataset = dataset("2020m1-ejnw");
+
+  fc.threads = 1;
+  const FleetResult one = run_fleet(world, fc);
+  fc.threads = 8;
+  const FleetResult eight = run_fleet(world, fc);
+
+  EXPECT_EQ(one.funnel.routed, eight.funnel.routed);
+  EXPECT_EQ(one.funnel.not_responsive, eight.funnel.not_responsive);
+  EXPECT_EQ(one.funnel.responsive, eight.funnel.responsive);
+  EXPECT_EQ(one.funnel.not_diurnal, eight.funnel.not_diurnal);
+  EXPECT_EQ(one.funnel.diurnal, eight.funnel.diurnal);
+  EXPECT_EQ(one.funnel.narrow_swing, eight.funnel.narrow_swing);
+  EXPECT_EQ(one.funnel.wide_swing, eight.funnel.wide_swing);
+  EXPECT_EQ(one.funnel.not_change_sensitive,
+            eight.funnel.not_change_sensitive);
+  EXPECT_EQ(one.funnel.change_sensitive, eight.funnel.change_sensitive);
+
+  ASSERT_EQ(one.outcomes.size(), eight.outcomes.size());
+  // At least some blocks must carry detections, or the comparison below
+  // would be vacuous for the interesting fields.
+  std::size_t total_changes = 0;
+  for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+    const BlockOutcome& a = one.outcomes[i];
+    const BlockOutcome& b = eight.outcomes[i];
+    ASSERT_EQ(a.id.id(), b.id.id()) << "block " << i;
+    EXPECT_EQ(a.cls.responsive, b.cls.responsive) << "block " << i;
+    EXPECT_EQ(a.cls.diurnal, b.cls.diurnal) << "block " << i;
+    EXPECT_EQ(a.cls.wide_swing, b.cls.wide_swing) << "block " << i;
+    EXPECT_EQ(a.cls.change_sensitive, b.cls.change_sensitive)
+        << "block " << i;
+    ASSERT_EQ(a.changes.size(), b.changes.size()) << "block " << i;
+    total_changes += a.changes.size();
+    for (std::size_t c = 0; c < a.changes.size(); ++c) {
+      const DetectedChange& x = a.changes[c];
+      const DetectedChange& y = b.changes[c];
+      EXPECT_EQ(x.start, y.start) << "block " << i << " change " << c;
+      EXPECT_EQ(x.alarm, y.alarm) << "block " << i << " change " << c;
+      EXPECT_EQ(x.end, y.end) << "block " << i << " change " << c;
+      EXPECT_EQ(x.direction, y.direction) << "block " << i << " change " << c;
+      // Bit-identical, not approximately equal: the per-block pipeline
+      // must not depend on which worker ran it.
+      EXPECT_EQ(x.amplitude, y.amplitude) << "block " << i << " change " << c;
+      EXPECT_EQ(x.amplitude_addresses, y.amplitude_addresses)
+          << "block " << i << " change " << c;
+      EXPECT_EQ(x.filtered_as_outage, y.filtered_as_outage)
+          << "block " << i << " change " << c;
+      EXPECT_EQ(x.filtered_small, y.filtered_small)
+          << "block " << i << " change " << c;
+    }
+  }
+  EXPECT_GT(total_changes, 0u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Tests for observers, the loss model, and the probing engines.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "geo/countries.h"
@@ -294,6 +295,65 @@ TEST(Merge, OrdersByTime) {
   }
   EXPECT_TRUE(merge_observations({}).empty());
   EXPECT_TRUE(merge_observations({ObservationVec{}, ObservationVec{}}).empty());
+}
+
+TEST(Merge, CollidingTimestampsKeepStreamOrder) {
+  // Observers with coinciding phases produce equal rel_times; the merge
+  // contract is a total order on (rel_time, source-stream index), so
+  // collisions must come out grouped by stream index, not in an
+  // implementation-defined order.
+  ObservationVec a{{10, 1, true}, {20, 1, false}, {20, 2, true}};
+  ObservationVec b{{10, 7, false}, {20, 7, true}};
+  ObservationVec c{{10, 9, true}, {20, 9, false}, {30, 9, true}};
+  const auto merged = merge_observations({a, b, c});
+  ASSERT_EQ(merged.size(), 8u);
+  // rel_time 10: streams 0, 1, 2; rel_time 20: stream 0 twice (its own
+  // internal order preserved), then 1, then 2; rel_time 30: stream 2.
+  const std::uint8_t expect_addr[] = {1, 7, 9, 1, 2, 7, 9, 9};
+  const std::uint32_t expect_time[] = {10, 10, 10, 20, 20, 20, 20, 30};
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].rel_time, expect_time[i]) << "index " << i;
+    EXPECT_EQ(merged[i].addr, expect_addr[i]) << "index " << i;
+  }
+}
+
+TEST(Merge, ManyStreamsAgainstReferenceStableSort) {
+  // K-way merge vs a reference stable sort keyed the same way, over
+  // enough streams to exercise the heap-heads fallback (> 16 streams)
+  // and dense timestamp collisions.
+  std::vector<ObservationVec> streams(20);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (std::uint32_t t = 0; t < 50; ++t) {
+      // Every stream emits every 3rd tick, so most ticks collide across
+      // several streams.
+      if ((t + s) % 3 == 0) {
+        streams[s].push_back(
+            {t, static_cast<std::uint8_t>(s), (t + s) % 2 == 0});
+      }
+    }
+  }
+  struct Keyed {
+    Observation o;
+    std::size_t stream;
+  };
+  std::vector<Keyed> reference;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (const auto& o : streams[s]) reference.push_back({o, s});
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Keyed& x, const Keyed& y) {
+                     if (x.o.rel_time != y.o.rel_time) {
+                       return x.o.rel_time < y.o.rel_time;
+                     }
+                     return x.stream < y.stream;
+                   });
+  const auto merged = merge_observations(streams);
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].rel_time, reference[i].o.rel_time) << "index " << i;
+    EXPECT_EQ(merged[i].addr, reference[i].o.addr) << "index " << i;
+    EXPECT_EQ(merged[i].up, reference[i].o.up) << "index " << i;
+  }
 }
 
 TEST(Prober, FaultyObserverCorruptsResults) {

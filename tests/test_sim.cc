@@ -2,9 +2,12 @@
 // and the generator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "geo/countries.h"
+#include "sim/activity_cursor.h"
 #include "sim/block_profile.h"
 #include "sim/events.h"
 #include "sim/world.h"
@@ -271,6 +274,142 @@ TEST(BlockCategoryNames, AllDistinct) {
   EXPECT_EQ(to_string(BlockCategory::kNatGateway), "nat-gateway");
   EXPECT_NE(to_string(BlockCategory::kServerFarm),
             to_string(BlockCategory::kHomeDynamic));
+}
+
+// ---------------------------------------------------------------------------
+// ActivityCursor must be an exact drop-in for address_active under its
+// monotone-time contract.  These property tests throw randomized block
+// profiles (every category; renumber/vacate/outage edges; overlapping
+// suppressions) and randomized non-decreasing probe times at both and
+// demand bit-identical answers.
+// ---------------------------------------------------------------------------
+
+constexpr SimTime kCursorHorizon = 200 * util::kSecondsPerDay;
+
+BlockProfile random_profile(util::Xoshiro256& rng) {
+  static constexpr BlockCategory kCats[] = {
+      BlockCategory::kUnused,       BlockCategory::kFirewalled,
+      BlockCategory::kServerFarm,   BlockCategory::kNatGateway,
+      BlockCategory::kIntermittent, BlockCategory::kMixed,
+      BlockCategory::kOffice,       BlockCategory::kUniversity,
+      BlockCategory::kHomeDynamic,
+  };
+  BlockProfile b;
+  b.id = net::BlockId(static_cast<std::uint32_t>(rng()));
+  b.category = kCats[rng.below(std::size(kCats))];
+  b.tz_offset_hours = static_cast<std::int16_t>(rng.range(-11, 12));
+  b.eb_count = static_cast<std::uint16_t>(rng.range(1, 96));
+  b.always_on = static_cast<std::uint16_t>(rng.range(0, 4));
+  b.seed = rng();
+  b.base_attendance = static_cast<float>(rng.uniform(0.5, 1.0));
+  b.current_fraction =
+      rng.chance(0.5) ? 1.0f : static_cast<float>(rng.uniform(0.1, 1.0));
+
+  // Overlapping, unsorted suppressions (holiday + WFH mixtures).
+  const int n_sup = static_cast<int>(rng.below(4));
+  for (int i = 0; i < n_sup; ++i) {
+    Suppression s;
+    s.start = rng.range(0, kCursorHorizon);
+    s.end = s.start + rng.range(3600, 40 * util::kSecondsPerDay);
+    s.residual_attendance = rng.uniform(0.05, 0.9);
+    s.kind = rng.chance(0.4) ? EventKind::kWorkFromHome : EventKind::kHoliday;
+    b.suppressions.push_back(s);
+  }
+  // Outages, including zero-length edge and back-to-back intervals.
+  const int n_out = static_cast<int>(rng.below(3));
+  for (int i = 0; i < n_out; ++i) {
+    OutageInterval o;
+    o.start = rng.range(0, kCursorHorizon);
+    o.end = o.start + rng.range(0, 3 * util::kSecondsPerDay);
+    b.outages.push_back(o);
+  }
+  if (rng.chance(0.25)) b.renumber_at = rng.range(0, kCursorHorizon);
+  if (rng.chance(0.2)) b.vacate_at = rng.range(0, kCursorHorizon);
+  if (rng.chance(0.3)) {
+    b.occupied_from = rng.range(0, kCursorHorizon / 2);
+    if (rng.chance(0.7)) {
+      b.occupied_until = b.occupied_from + rng.range(0, kCursorHorizon);
+    }
+  }
+  return b;
+}
+
+TEST(ActivityCursor, MatchesOracleOnRandomProfiles) {
+  util::Xoshiro256 rng(2023);
+  ActivityCursor cursor;
+  for (int trial = 0; trial < 200; ++trial) {
+    const BlockProfile b = random_profile(rng);
+    cursor.bind(b);
+    SimTime t = rng.range(-2 * util::kSecondsPerDay, util::kSecondsPerDay);
+    for (int step = 0; step < 2000; ++step) {
+      // Mostly small steps (within-round cadence), occasionally large
+      // jumps so epochs, outages, and renumbering edges all get crossed.
+      t += rng.chance(0.9) ? rng.range(0, 660) : rng.range(0, 5 * 86400);
+      const int addr = static_cast<int>(
+          rng.range(-1, static_cast<std::int64_t>(b.eb_count)));
+      ASSERT_EQ(cursor.active(addr, t), address_active(b, addr, t))
+          << "trial " << trial << " category " << to_string(b.category)
+          << " addr " << addr << " t " << t;
+    }
+  }
+}
+
+TEST(ActivityCursor, MatchesOracleAroundStructuralEdges) {
+  util::Xoshiro256 rng(77);
+  ActivityCursor cursor;
+  for (int trial = 0; trial < 100; ++trial) {
+    BlockProfile b = random_profile(rng);
+    // Force the interesting structure on.
+    b.renumber_at = rng.range(10 * 86400, 60 * 86400);
+    b.vacate_at = rng.chance(0.5) ? rng.range(80 * 86400, 120 * 86400) : -1;
+    b.outages.push_back(
+        {b.renumber_at - 3600, b.renumber_at + rng.range(0, 7200)});
+
+    // Probe a dense monotone grid straddling every edge.
+    std::vector<SimTime> edges = {b.renumber_at,
+                                  b.renumber_at + 4 * 3600,
+                                  b.vacate_at,
+                                  b.occupied_from,
+                                  b.occupied_until};
+    for (const auto& o : b.outages) {
+      edges.push_back(o.start);
+      edges.push_back(o.end);
+    }
+    for (const auto& s : b.suppressions) {
+      edges.push_back(s.start);
+      edges.push_back(s.end);
+    }
+    std::sort(edges.begin(), edges.end());
+    cursor.bind(b);
+    for (const SimTime e : edges) {
+      if (e < 0) continue;
+      for (SimTime t = e - 2; t <= e + 2; ++t) {
+        for (int addr = 0; addr < static_cast<int>(b.eb_count);
+             addr += 1 + static_cast<int>(b.eb_count) / 7) {
+          ASSERT_EQ(cursor.active(addr, t), address_active(b, addr, t))
+              << "edge " << e << " t " << t << " addr " << addr;
+        }
+      }
+    }
+  }
+}
+
+TEST(ActivityCursor, RebindResetsMonotonicityContract) {
+  World w(small_config(50));
+  ActivityCursor cursor;
+  const SimTime late = 150 * util::kSecondsPerDay;
+  const SimTime early = 3 * util::kSecondsPerDay;
+  for (const auto& b : w.blocks()) {
+    cursor.bind(b);
+    for (int addr = 0; addr < b.eb_count; ++addr) {
+      ASSERT_EQ(cursor.active(addr, late), address_active(b, addr, late));
+    }
+    // Re-binding the same block restarts time.
+    cursor.bind(b);
+    for (int addr = 0; addr < b.eb_count; ++addr) {
+      ASSERT_EQ(cursor.active(addr, early), address_active(b, addr, early));
+    }
+  }
 }
 
 }  // namespace

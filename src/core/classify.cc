@@ -6,6 +6,8 @@ BlockClassification classify_block(const recon::ReconResult& recon,
                                    const ClassifierOptions& opt) {
   BlockClassification c;
   c.responsive = recon.responsive;
+  c.evidence_fraction = recon.evidence_fraction;
+  c.low_confidence = recon.evidence_fraction < opt.min_evidence_fraction;
   if (!c.responsive) return c;
   c.diurnal_detail = analysis::test_diurnal(recon.counts, opt.diurnal);
   c.diurnal = c.diurnal_detail.diurnal;
@@ -17,6 +19,7 @@ BlockClassification classify_block(const recon::ReconResult& recon,
 
 void FunnelCounts::add(const BlockClassification& c) noexcept {
   ++routed;
+  if (c.low_confidence) ++low_confidence;
   if (!c.responsive) {
     ++not_responsive;
     return;

@@ -16,6 +16,11 @@ namespace diurnal::core {
 struct ClassifierOptions {
   analysis::DiurnalOptions diurnal{};
   analysis::SwingOptions swing{};
+  /// Confidence floor (degraded mode): a block whose reconstruction has
+  /// fewer fresh samples than this fraction is annotated low-confidence
+  /// instead of being silently misclassified.  A healthy merged fleet
+  /// probes every round, so the floor only bites when observers fail.
+  double min_evidence_fraction = 0.5;
 };
 
 /// One block's position in the Table 2 funnel.
@@ -24,6 +29,13 @@ struct BlockClassification {
   bool diurnal = false;
   bool wide_swing = false;
   bool change_sensitive = false;  ///< diurnal && wide_swing
+
+  /// Degraded-mode annotation: the verdicts above rest on a
+  /// reconstruction whose evidence fell below the confidence floor
+  /// (observers dark or partial) — trust them accordingly.  Never set
+  /// for a healthy fleet; does not alter the funnel verdicts themselves.
+  bool low_confidence = false;
+  double evidence_fraction = 1.0;
 
   analysis::DiurnalResult diurnal_detail{};
   analysis::SwingResult swing_detail{};
@@ -44,6 +56,8 @@ struct FunnelCounts {
   std::int64_t wide_swing = 0;
   std::int64_t not_change_sensitive = 0;
   std::int64_t change_sensitive = 0;
+  /// Blocks whose verdicts are annotated low-confidence (degraded mode).
+  std::int64_t low_confidence = 0;
 
   void add(const BlockClassification& c) noexcept;
 };

@@ -96,6 +96,16 @@ DatasetSpec dataset(const std::string& abbr) {
   if (kind == 'm' && num == 1) {
     return make(abbr, Date{year, 1, 1}, 4, sites);
   }
+  if (kind == 'w' && num >= 1 && num <= 52) {
+    // Week n of the year (n=1 starts January 1): a short window for
+    // smoke tests and fault-scenario sweeps, where a full quarter would
+    // dominate the run.  Classification works (the swing test needs one
+    // week); change detection needs >= 2 periods, so pair consecutive
+    // weeks or disable detection on these.
+    const Date start = util::civil_from_days(
+        util::days_from_civil(Date{year, 1, 1}) + (num - 1) * 7);
+    return make(abbr, start, 1, sites);
+  }
   throw std::invalid_argument("dataset: unknown period '" + period + "'");
 }
 

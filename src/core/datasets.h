@@ -33,8 +33,10 @@ const std::vector<DatasetSpec>& table6_datasets();
 /// Resolves an analysis-window abbreviation like "2020h1-ejnw",
 /// "2020m1-w", "2019q4-w", or "2020it89-w".  Periods: YYYYq1..q4
 /// (12 weeks), YYYYh1 (24 weeks), YYYYm1 (first 4 weeks of the year),
-/// and 2020it89 (the 2-week survey starting 2020-02-19).
-/// Throws std::invalid_argument for unknown forms.
+/// YYYYw1..w52 (1 week, week n starting January 1 + 7(n-1) days — for
+/// smoke tests and fault sweeps), and 2020it89 (the 2-week survey
+/// starting 2020-02-19).  Throws std::invalid_argument for unknown
+/// forms.
 DatasetSpec dataset(const std::string& abbr);
 
 }  // namespace diurnal::core

@@ -56,6 +56,13 @@ struct DetectedChange {
   double amplitude_addresses = 0.0;  ///< raw trend change in addresses
   bool filtered_as_outage = false;   ///< part of a paired down/up excursion
   bool filtered_small = false;       ///< below the address-count floor
+  /// Degraded-mode annotation (set by the fleet pipeline, never by a
+  /// healthy run): the change's evidence window overlaps a coverage gap
+  /// or the whole reconstruction fell below the confidence floor, so the
+  /// "change" may be observers failing rather than humans moving.  Not
+  /// part of counted(): consumers that need trustworthy onsets (e.g.
+  /// WFH validation) must check it explicitly.
+  bool low_evidence = false;
 
   /// True when the change counts as a human-activity change.
   bool counted() const noexcept {

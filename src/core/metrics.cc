@@ -28,6 +28,7 @@ SampledBlock score_block(const sim::BlockProfile& block,
                          const ValidationConfig& cfg) {
   SampledBlock s;
   s.id = block.id;
+  s.low_confidence = outcome.cls.low_confidence;
   const auto& country = geo::countries()[block.country];
   s.country = country.code;
 
@@ -87,6 +88,10 @@ SampledBlock score_block(const sim::BlockProfile& block,
   std::int64_t best_offset = cfg.match_window + 1;
   for (const auto& ch : outcome.changes) {
     if (!ch.counted()) continue;
+    if (ch.low_evidence && !cfg.trust_low_evidence) {
+      ++s.low_evidence_changes;
+      continue;
+    }
     any_change = true;
     if (ch.direction != analysis::ChangeDirection::kDown) continue;
     if (std::abs(ch.alarm - *news_date) <= cfg.match_window) near_news = true;
@@ -116,6 +121,8 @@ SampledBlock score_block(const sim::BlockProfile& block,
 
 void tally(SampleValidation& v, const SampledBlock& s) {
   ++v.total;
+  v.low_evidence_changes += s.low_evidence_changes;
+  if (s.low_confidence) ++v.low_confidence_blocks;
   switch (s.verdict) {
     case BlockVerdict::kNoWfhInWindow:
       ++v.no_wfh_in_window;

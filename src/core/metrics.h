@@ -32,6 +32,11 @@ struct ValidationConfig {
   /// Analysis window used to decide whether a country's WFH date falls
   /// inside the studied quarter; both 0 disables the check.
   probe::ProbeWindow window{};
+  /// Score detections annotated low_evidence (degraded mode).  Off by
+  /// default: a down/up excursion overlapping an observer coverage gap
+  /// is more likely the fleet failing than people moving, so counting
+  /// it as a WFH match would inflate precision under faults.
+  bool trust_low_evidence = false;
 };
 
 struct SampledBlock {
@@ -39,6 +44,8 @@ struct SampledBlock {
   std::string country;
   BlockVerdict verdict = BlockVerdict::kNoCusum;
   std::int64_t detection_offset_days = 0;  ///< alarm - truth, when matched
+  int low_evidence_changes = 0;  ///< detections excluded as low-evidence
+  bool low_confidence = false;   ///< block classification was annotated
 };
 
 /// Table 5-style tally over a random sample of change-sensitive blocks.
@@ -54,6 +61,11 @@ struct SampleValidation {
   int false_negative = 0;   ///< visually detectable but missed
   int cusum_far = 0;
   int no_cusum = 0;
+  /// Degraded-mode accounting: detections excluded because their
+  /// evidence window overlapped a coverage gap, and sampled blocks whose
+  /// classification carried the low-confidence annotation.
+  int low_evidence_changes = 0;
+  int low_confidence_blocks = 0;
 
   double precision() const noexcept {
     const int denom = true_positive + false_positive;

@@ -18,8 +18,34 @@ recon::BlockObservationConfig observation_config(const FleetConfig& cfg,
       ds.survey ? probe::ProberKind::kSurvey : probe::ProberKind::kTrinocular;
   oc.one_loss_repair = cfg.one_loss_repair;
   oc.additional_observations = cfg.additional_observations;
+  oc.faults = &cfg.faults;
   oc.recon = cfg.recon;
   return oc;
+}
+
+// Degraded-mode annotation: a change whose evidence window overlaps a
+// coverage gap (or whose whole reconstruction fell below the confidence
+// floor) may be observers failing rather than humans moving.  One day of
+// slack on each side, because STL smoothing and CUSUM change-dating can
+// land the excursion boundary a few samples off the gap edge.
+void annotate_low_evidence(std::vector<DetectedChange>& changes,
+                           const recon::ReconResult& recon,
+                           double evidence_floor) {
+  if (changes.empty()) return;
+  const bool all_low = recon.evidence_fraction < evidence_floor;
+  constexpr util::SimTime kSlack = util::kSecondsPerDay;
+  for (auto& c : changes) {
+    if (all_low) {
+      c.low_evidence = true;
+      continue;
+    }
+    for (const auto& g : recon.gaps) {
+      if (c.start - kSlack < g.end && c.end + kSlack > g.start) {
+        c.low_evidence = true;
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -28,6 +54,7 @@ FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
   const auto& blocks = world.blocks();
   FleetResult result;
   result.outcomes.resize(blocks.size());
+  result.degradation.blocks.resize(blocks.size());
 
   const DatasetSpec& classify_ds =
       config.classify_dataset ? *config.classify_dataset : config.dataset;
@@ -40,6 +67,7 @@ FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
 
   const auto classify_oc = observation_config(config, classify_ds);
   const auto detect_oc = observation_config(config, config.dataset);
+  const double evidence_floor = config.classifier.min_evidence_fraction;
 
   unsigned n_threads = config.threads > 0
                            ? static_cast<unsigned>(config.threads)
@@ -51,12 +79,16 @@ FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
   // fetch_add per kChunk blocks while still load-balancing (block costs
   // vary by orders of magnitude between categories); consecutive blocks
   // also keep each worker's scratch buffers at a stable working size.
-  // Each block's outcome lands in its own result slot, so the schedule
-  // cannot affect the output (see bench_fleet's determinism gate).
+  // Each block's outcome and degradation row land in their own result
+  // slots, so the schedule cannot affect the output (see bench_fleet's
+  // determinism gate) — fault injection included, because every fault
+  // draw is a stateless hash, never shared RNG state.
   constexpr std::size_t kChunk = 16;
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     probe::ProbeScratch scratch;
+    recon::DegradedReconResult classify_dr;
+    recon::DegradedReconResult detect_dr;
     for (;;) {
       const std::size_t begin =
           next.fetch_add(kChunk, std::memory_order_relaxed);
@@ -68,19 +100,27 @@ FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
         out.id = block.id;
         if (block.eb_count == 0) continue;  // never responds
 
-        const auto classify_recon =
-            recon::observe_and_reconstruct(block, classify_oc, scratch);
+        recon::observe_and_reconstruct_degraded(block, classify_oc, scratch,
+                                                classify_dr);
+        const recon::ReconResult& classify_recon = classify_dr.recon;
         out.cls = classify_block(classify_recon, config.classifier);
+        result.degradation.blocks[i] = fault::summarize_block(
+            classify_dr.observers,
+            static_cast<int>(classify_dr.observers.size()), classify_oc.window,
+            classify_recon.evidence_fraction, classify_recon.max_gap_seconds,
+            evidence_floor);
         if (!out.cls.change_sensitive || !config.run_detection) continue;
 
         if (same_window) {
           out.changes =
               detect_changes(classify_recon.counts, config.detector).changes;
+          annotate_low_evidence(out.changes, classify_recon, evidence_floor);
         } else {
-          const auto detect_recon =
-              recon::observe_and_reconstruct(block, detect_oc, scratch);
+          recon::observe_and_reconstruct_degraded(block, detect_oc, scratch,
+                                                  detect_dr);
           out.changes =
-              detect_changes(detect_recon.counts, config.detector).changes;
+              detect_changes(detect_dr.recon.counts, config.detector).changes;
+          annotate_low_evidence(out.changes, detect_dr.recon, evidence_floor);
         }
       }
     }
@@ -96,6 +136,7 @@ FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
   }
 
   for (const auto& out : result.outcomes) result.funnel.add(out.cls);
+  result.degradation.finalize();
   return result;
 }
 

@@ -14,6 +14,8 @@
 #include "core/classify.h"
 #include "core/datasets.h"
 #include "core/detect.h"
+#include "fault/degradation.h"
+#include "fault/fault_plan.h"
 #include "probe/loss_model.h"
 #include "recon/block_recon.h"
 #include "sim/world.h"
@@ -29,6 +31,13 @@ struct FleetConfig {
   probe::LossModelConfig loss{};
   bool one_loss_repair = true;
   bool additional_observations = false;
+
+  /// Observer fault plan (degraded mode).  The default empty plan is the
+  /// healthy fleet: output is bit-identical to a run without the fault
+  /// layer.  With a seeded plan the run stays deterministic across
+  /// thread counts; classifications and detections whose evidence
+  /// degrades are annotated rather than silently misreported.
+  fault::FaultPlan faults{};
 
   ClassifierOptions classifier{};
   DetectorOptions detector{};
@@ -51,6 +60,8 @@ struct BlockOutcome {
 struct FleetResult {
   FunnelCounts funnel{};                 ///< the Table 2 row
   std::vector<BlockOutcome> outcomes;    ///< aligned with world.blocks()
+  /// Per-block coverage/trust accounting (blocks aligned with outcomes).
+  fault::DegradationReport degradation{};
 };
 
 /// Runs the pipeline over every block of the world.

@@ -1,0 +1,53 @@
+#include "fault/degradation.h"
+
+namespace diurnal::fault {
+
+BlockDegradation summarize_block(
+    const std::vector<ObserverStreamInfo>& streams, int configured_observers,
+    probe::ProbeWindow window, double evidence_fraction,
+    double max_gap_seconds, double evidence_floor,
+    util::SimTime partial_slack) {
+  BlockDegradation d;
+  d.configured_observers = configured_observers;
+  d.evidence_fraction = evidence_fraction;
+  d.max_gap_hours = max_gap_seconds / 3600.0;
+  d.low_confidence = evidence_fraction < evidence_floor;
+
+  const std::int64_t span = window.end - window.start;
+  for (const auto& s : streams) {
+    d.dropped_observations += s.faults.dropped;
+    d.corrupted_observations += s.faults.corrupted;
+    if (s.observations == 0) continue;
+    ++d.live_observers;
+    // A healthy observer's stream spans the whole window (first probe
+    // within its round phase of the start, last within a round of the
+    // end); a stream that opens late or closes early by more than the
+    // slack lost real coverage.
+    const bool late = static_cast<std::int64_t>(s.first_rel) > partial_slack;
+    const bool early =
+        span - static_cast<std::int64_t>(s.last_rel) > partial_slack;
+    if (late || early) ++d.partial_observers;
+  }
+  return d;
+}
+
+void DegradationReport::finalize() {
+  probed_blocks = 0;
+  degraded_blocks = 0;
+  low_confidence_blocks = 0;
+  blocks_missing_observers = 0;
+  double evidence_sum = 0.0;
+  for (const auto& b : blocks) {
+    if (b.configured_observers == 0) continue;  // never probed
+    ++probed_blocks;
+    evidence_sum += b.evidence_fraction;
+    if (b.degraded()) ++degraded_blocks;
+    if (b.low_confidence) ++low_confidence_blocks;
+    if (b.live_observers < b.configured_observers) ++blocks_missing_observers;
+  }
+  mean_evidence_fraction =
+      probed_blocks == 0 ? 1.0
+                         : evidence_sum / static_cast<double>(probed_blocks);
+}
+
+}  // namespace diurnal::fault

@@ -1,0 +1,47 @@
+// Applies a FaultPlan to one observer's recorded probe stream.
+//
+// Injection runs after the prober and before 1-loss repair: faults
+// happen on the wire and at the observer, repair is an analysis-side
+// decision.  Dark windows delete observations (a dead observer records
+// nothing), burst loss flips positive replies to non-replies, truncation
+// drops the tail of a round, and clock skew/drift rewrites timestamps —
+// all as pure functions of (plan seed, observer, time), so a stream's
+// degraded form is reproducible regardless of which worker probes it.
+#pragma once
+
+#include <cstddef>
+
+#include "fault/fault_plan.h"
+#include "probe/prober.h"
+
+namespace diurnal::fault {
+
+/// What injection did to one stream.
+struct StreamFaultStats {
+  std::size_t input = 0;      ///< observations before injection
+  std::size_t dropped = 0;    ///< deleted (dark windows, truncation, skew)
+  std::size_t corrupted = 0;  ///< positive replies flipped by burst loss
+  std::size_t retimed = 0;    ///< timestamps rewritten by skew/drift
+
+  bool touched() const noexcept {
+    return dropped > 0 || corrupted > 0 || retimed > 0;
+  }
+};
+
+/// True when `observer` is dark at time t under the plan's outage specs.
+bool observer_dark_at(const FaultPlan& plan, char observer, util::SimTime t);
+
+/// True when the indexed burst spec's deterministic schedule is active
+/// at t (exposed for tests and the degradation report).
+bool burst_active(std::uint64_t seed, std::size_t spec_index,
+                  const BurstLossSpec& spec, util::SimTime t);
+
+/// Applies the plan to one observer's time-ordered stream in place.
+/// A plan with no spec matching `observer` is a no-op; the stream stays
+/// time-ordered (skew/drift is a monotone transform and survivors keep
+/// their relative order).
+StreamFaultStats apply_faults(const FaultPlan& plan, char observer,
+                              probe::ProbeWindow window,
+                              probe::ObservationVec& stream);
+
+}  // namespace diurnal::fault

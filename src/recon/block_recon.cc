@@ -1,23 +1,54 @@
 #include "recon/block_recon.h"
 
+#include "fault/inject.h"
 #include "recon/repair.h"
 
 namespace diurnal::recon {
 
 namespace {
 
-// Probes every observer into scratch.streams (reused, resized in place).
+char stream_code(const BlockObservationConfig& config, std::size_t i) {
+  return i < config.observers.size() ? config.observers[i].code : 'x';
+}
+
+// Probes every observer into scratch.streams (reused, resized in place),
+// injecting faults before repair (faults happen on the wire, repair is
+// an analysis-side decision).  When `info` is non-null it is filled with
+// one ObserverStreamInfo per stream.
 void collect_streams_into(const sim::BlockProfile& block,
                           const BlockObservationConfig& config,
-                          probe::ProbeScratch& scratch) {
+                          probe::ProbeScratch& scratch,
+                          std::vector<fault::ObserverStreamInfo>* info) {
   const std::size_t n =
       config.observers.size() + (config.additional_observations ? 1 : 0);
   scratch.streams.resize(n);
+  if (info != nullptr) info->assign(n, {});
+  const bool inject = config.faults != nullptr && !config.faults->empty();
+
+  auto finish_stream = [&](std::size_t i, probe::ObservationVec& stream) {
+    fault::StreamFaultStats stats;
+    if (inject) {
+      stats = fault::apply_faults(*config.faults, stream_code(config, i),
+                                  config.window, stream);
+    }
+    if (info != nullptr) {
+      auto& si = (*info)[i];
+      si.code = stream_code(config, i);
+      si.observations = stream.size();
+      si.faults = stats;
+      if (!stream.empty()) {
+        si.first_rel = stream.front().rel_time;
+        si.last_rel = stream.back().rel_time;
+      }
+    }
+    if (config.one_loss_repair) one_loss_repair(stream);
+  };
+
   for (std::size_t i = 0; i < config.observers.size(); ++i) {
     probe::probe_block_into(block, config.observers[i], config.loss,
                             config.window, config.prober, scratch,
                             scratch.streams[i]);
-    if (config.one_loss_repair) one_loss_repair(scratch.streams[i]);
+    finish_stream(i, scratch.streams[i]);
   }
   if (config.additional_observations) {
     probe::ProberConfig extra_cfg = config.prober;
@@ -25,14 +56,14 @@ void collect_streams_into(const sim::BlockProfile& block,
     probe::probe_block_into(block, probe::additional_observer(), config.loss,
                             config.window, extra_cfg, scratch,
                             scratch.streams[n - 1]);
-    if (config.one_loss_repair) one_loss_repair(scratch.streams[n - 1]);
+    finish_stream(n - 1, scratch.streams[n - 1]);
   }
 }
 
 std::vector<probe::ObservationVec> collect_streams(
     const sim::BlockProfile& block, const BlockObservationConfig& config) {
   auto& scratch = probe::ProbeScratch::local();
-  collect_streams_into(block, config, scratch);
+  collect_streams_into(block, config, scratch, nullptr);
   return std::move(scratch.streams);
 }
 
@@ -41,7 +72,7 @@ std::vector<probe::ObservationVec> collect_streams(
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
                                     const BlockObservationConfig& config,
                                     probe::ProbeScratch& scratch) {
-  collect_streams_into(block, config, scratch);
+  collect_streams_into(block, config, scratch, nullptr);
   probe::merge_observations_into(scratch.streams, scratch.merged);
   return reconstruct(scratch.merged, block.eb_count, config.window,
                      config.recon);
@@ -50,6 +81,16 @@ ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
                                     const BlockObservationConfig& config) {
   return observe_and_reconstruct(block, config, probe::ProbeScratch::local());
+}
+
+void observe_and_reconstruct_degraded(const sim::BlockProfile& block,
+                                      const BlockObservationConfig& config,
+                                      probe::ProbeScratch& scratch,
+                                      DegradedReconResult& out) {
+  collect_streams_into(block, config, scratch, &out.observers);
+  probe::merge_observations_into(scratch.streams, scratch.merged);
+  out.recon = reconstruct(scratch.merged, block.eb_count, config.window,
+                          config.recon);
 }
 
 MultiReconResult observe_and_reconstruct_detailed(

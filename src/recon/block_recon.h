@@ -1,11 +1,14 @@
 // Per-block observation driver: probes a block from a set of observers,
-// applies 1-loss repair per observer, merges the streams (paper section
-// 2.7), and reconstructs the active-address series.
+// optionally injects observer faults (the degraded-mode layer), applies
+// 1-loss repair per observer, merges the streams (paper section 2.7),
+// and reconstructs the active-address series.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "fault/degradation.h"
+#include "fault/fault_plan.h"
 #include "probe/loss_model.h"
 #include "probe/observer.h"
 #include "probe/prober.h"
@@ -23,6 +26,9 @@ struct BlockObservationConfig {
   /// Add the section-2.8 additional-observations prober on top of the
   /// regular observers.
   bool additional_observations = false;
+  /// Fault plan applied to each observer's stream before repair; null or
+  /// empty means a healthy fleet (bit-identical to no fault layer).
+  const fault::FaultPlan* faults = nullptr;
   ReconOptions recon{};
 };
 
@@ -35,6 +41,19 @@ ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
                                     const BlockObservationConfig& config,
                                     probe::ProbeScratch& scratch);
+
+/// Degraded-mode variant: also reports what each observer actually
+/// delivered (stream spans and fault-injection stats), the raw material
+/// of the fleet's DegradationReport.  `out` is reused across calls (one
+/// per worker thread, like the scratch).
+struct DegradedReconResult {
+  ReconResult recon;
+  std::vector<fault::ObserverStreamInfo> observers;
+};
+void observe_and_reconstruct_degraded(const sim::BlockProfile& block,
+                                      const BlockObservationConfig& config,
+                                      probe::ProbeScratch& scratch,
+                                      DegradedReconResult& out);
 
 /// Same, but also returns each observer's own single-site reconstruction
 /// (used by the loss study of section 3.3 and the health check).

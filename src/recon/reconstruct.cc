@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 
 #include "analysis/stats.h"
 
@@ -40,6 +41,22 @@ ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
   std::size_t positives = 0;
   std::size_t next_sample = 0;
 
+  // Effective-coverage tracking: a sample is fresh when some observation
+  // (reply or not — coverage is about measurement, not activity) landed
+  // within the trailing stale_horizon; observation-free spans longer
+  // than the horizon are recorded as gaps.
+  std::int64_t last_obs_rel = std::numeric_limits<std::int64_t>::min() / 2;
+  std::size_t fresh_samples = 0;
+  auto note_gap = [&](std::int64_t up_to) {
+    const std::int64_t from = std::max<std::int64_t>(last_obs_rel, 0);
+    if (up_to - from > opt.stale_horizon) {
+      res.gaps.push_back(
+          CoverageGap{window.start + from, window.start + up_to});
+    }
+    res.max_gap_seconds =
+        std::max(res.max_gap_seconds, static_cast<double>(up_to - from));
+  };
+
   // Full-cover tracking: pass_epoch[a] is the cover pass that last
   // touched address a; when a pass has touched all of E(b), its duration
   // is one full-block-scan span and the next pass begins.
@@ -53,6 +70,11 @@ ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
            static_cast<std::int64_t>(next_sample) * opt.sample_step <= rel_time) {
       samples[next_sample] = static_cast<double>(active);
       res.max_active = std::max(res.max_active, samples[next_sample]);
+      if (static_cast<std::int64_t>(next_sample) * opt.sample_step -
+              last_obs_rel <=
+          opt.stale_horizon) {
+        ++fresh_samples;
+      }
       ++next_sample;
     }
   };
@@ -60,6 +82,8 @@ ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
   for (const auto& obs : merged) {
     const auto rel = static_cast<std::int64_t>(obs.rel_time);
     emit_until(rel - 1);
+    note_gap(rel);
+    last_obs_rel = rel;
     const std::size_t a = obs.addr;
     if (a >= static_cast<std::size_t>(eb_count)) continue;
     if (state[a] == -1) ++observed;
@@ -80,6 +104,11 @@ ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
     }
   }
   emit_until(duration);
+  note_gap(duration);
+  res.evidence_fraction =
+      n_samples == 0 ? 0.0
+                     : static_cast<double>(fresh_samples) /
+                           static_cast<double>(n_samples);
 
   res.observations = merged.size();
   res.observed_targets = observed;

@@ -19,6 +19,19 @@ struct ReconOptions {
   /// Output sampling interval for the count series (the fleet uses
   /// hourly; single-block case studies use per-round).
   std::int64_t sample_step = 3600;
+  /// Effective-coverage horizon (paper section 2.8: the additional
+  /// observer guarantees a 6-hour full-block refresh).  A sample with no
+  /// observation in the trailing horizon is stale; spans with no
+  /// observations longer than this are recorded as coverage gaps.
+  std::int64_t stale_horizon = 6 * util::kSecondsPerHour;
+};
+
+/// A span of the window with no observations at all (absolute times):
+/// the reconstruction holds stale state throughout, so anything inferred
+/// from it rests on no fresh evidence.
+struct CoverageGap {
+  util::SimTime start = 0;
+  util::SimTime end = 0;
 };
 
 struct ReconResult {
@@ -34,6 +47,17 @@ struct ReconResult {
   /// of E(b) (each span is the time the merged observers took to touch
   /// every target once).  This is the quantity of Figure 3.
   std::vector<double> fbs_spans_seconds;
+
+  /// Effective coverage (degraded-mode accounting): fraction of count
+  /// samples with an observation inside the staleness horizon, the
+  /// longest observation-free span, and every observation-free span
+  /// longer than the horizon.  A healthy merged fleet probes every
+  /// round, so evidence_fraction sits at ~1 with no gaps; when observers
+  /// go dark the gaps say exactly which stretches of the series are
+  /// held-over state rather than measurement.
+  double evidence_fraction = 0.0;
+  double max_gap_seconds = 0.0;
+  std::vector<CoverageGap> gaps;
 
   double fbs_median_seconds() const;
   double fbs_quantile_seconds(double q) const;

@@ -12,7 +12,9 @@ using util::SimTime;
 using util::Xoshiro256;
 
 World::World(WorldConfig config) : config_(std::move(config)) {
-  if (config_.calendar.empty()) config_.calendar = default_calendar();
+  if (config_.calendar.empty() && !config_.quiet_calendar) {
+    config_.calendar = default_calendar();
+  }
   generate();
 }
 

@@ -55,8 +55,15 @@ struct WorldConfig {
   /// (regional case studies build dense single-country worlds cheaply).
   std::optional<std::string> only_country;
 
-  /// Event calendar; default_calendar() if empty.
+  /// Event calendar; default_calendar() if empty (unless quiet_calendar).
   std::vector<Event> calendar;
+
+  /// Keep an empty calendar empty instead of substituting
+  /// default_calendar(): a world with no events whatsoever, so any
+  /// detected change is by construction an artifact of the measurement
+  /// (used by fault-injection tests to prove observer dropout is never
+  /// misread as a WFH onset).
+  bool quiet_calendar = false;
 };
 
 /// Deterministically generated world.

@@ -217,8 +217,19 @@ TEST(Datasets, ParseAbbreviations) {
   EXPECT_TRUE(survey.survey);
   EXPECT_EQ(util::to_string(survey.start), "2020-02-19");
 
+  // Weekly smoke-test periods: week n starts January 1 + 7(n-1) days.
+  const auto w1 = dataset("2020w1-ejnw");
+  EXPECT_EQ(util::to_string(w1.start), "2020-01-01");
+  EXPECT_EQ(w1.duration_weeks, 1);
+  const auto w3 = dataset("2020w3-w");
+  EXPECT_EQ(util::to_string(w3.start), "2020-01-15");
+  EXPECT_EQ(w3.window().end - w3.window().start,
+            7 * util::kSecondsPerDay);
+
   EXPECT_THROW(dataset("nonsense"), std::invalid_argument);
   EXPECT_THROW(dataset("2020x7-w"), std::invalid_argument);
+  EXPECT_THROW(dataset("2020w0-w"), std::invalid_argument);
+  EXPECT_THROW(dataset("2020w53-w"), std::invalid_argument);
 }
 
 TEST(Datasets, WindowArithmetic) {

@@ -317,6 +317,40 @@ TEST(Merge, CollidingTimestampsKeepStreamOrder) {
   }
 }
 
+TEST(Merge, ZeroAndSingleStreamEdges) {
+  // No streams and no observations: both legal, both empty.
+  EXPECT_TRUE(merge_observations({}).empty());
+  EXPECT_TRUE(merge_observations({ObservationVec{}}).empty());
+  // A single stream merges to itself verbatim (the k-way merge's k=1
+  // fast path must not reorder or drop).
+  ObservationVec only{{5, 1, true}, {5, 2, false}, {17, 3, true}};
+  const auto merged = merge_observations({only});
+  ASSERT_EQ(merged.size(), only.size());
+  for (std::size_t i = 0; i < only.size(); ++i) {
+    EXPECT_EQ(merged[i].rel_time, only[i].rel_time);
+    EXPECT_EQ(merged[i].addr, only[i].addr);
+    EXPECT_EQ(merged[i].up, only[i].up);
+  }
+}
+
+TEST(Merge, SameObserverListedTwiceKeepsStreamOrder) {
+  // Degraded fleets can hand the merge two streams from the same
+  // observer (e.g. a restarted prober re-delivering a window).  Equal
+  // rel_times across the two copies must come out grouped by stream
+  // index — the (rel_time, stream) total order, never interleaved
+  // arbitrarily — so reconstruction sees a deterministic sequence.
+  ObservationVec first{{100, 1, true}, {200, 1, false}};
+  ObservationVec second{{100, 1, false}, {200, 1, true}};
+  const auto merged = merge_observations({first, second});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].rel_time, 100u);
+  EXPECT_TRUE(merged[0].up);    // stream 0 first
+  EXPECT_FALSE(merged[1].up);   // then stream 1
+  EXPECT_EQ(merged[2].rel_time, 200u);
+  EXPECT_FALSE(merged[2].up);
+  EXPECT_TRUE(merged[3].up);
+}
+
 TEST(Merge, ManyStreamsAgainstReferenceStableSort) {
   // K-way merge vs a reference stable sort keyed the same way, over
   // enough streams to exercise the heap-heads fallback (> 16 streams)

@@ -302,6 +302,47 @@ TEST(Health, FlagsFaultyObservers) {
   EXPECT_EQ(codes, "ejnw");
 }
 
+TEST(BlockRecon, ZeroObserversYieldsUnresponsiveNotCrash) {
+  // A block that no observer covers (degraded fleets can lose a whole
+  // site set): the merge sees zero streams, reconstruction sees zero
+  // observations, and the block must come out unresponsive with zero
+  // evidence rather than crashing or inventing state.
+  sim::WorldConfig wc;
+  wc.num_blocks = 1;
+  wc.seed = 3;
+  wc.include_special_blocks = false;
+  const sim::World world(wc);
+  BlockObservationConfig oc;
+  oc.observers = {};  // nobody probes
+  oc.window = ProbeWindow{time_of(2020, 1, 1), time_of(2020, 1, 8)};
+  const auto r = observe_and_reconstruct(world.blocks()[0], oc);
+  EXPECT_FALSE(r.responsive);
+  EXPECT_EQ(r.evidence_fraction, 0.0);
+}
+
+TEST(BlockRecon, StreamEndingBeforeWindowOpens) {
+  // An observer that dies before the classify window opens delivers
+  // nothing inside it.  With faults taking the only observer down for
+  // the entire window, reconstruction must degrade to an empty,
+  // zero-evidence result instead of carrying pre-window state in.
+  sim::WorldConfig wc;
+  wc.num_blocks = 40;
+  wc.seed = 29;
+  const sim::World world(wc);
+  BlockObservationConfig oc;
+  oc.observers = probe::sites_from_string("w");
+  oc.window = ProbeWindow{time_of(2020, 1, 1), time_of(2020, 1, 15)};
+  const auto plan = fault::FaultPlan::single_observer_dropout(
+      'w', oc.window.start, oc.window.end);
+  oc.faults = &plan;
+  for (const auto& block : world.blocks()) {
+    if (block.eb_count == 0) continue;
+    const auto r = observe_and_reconstruct(block, oc);
+    EXPECT_FALSE(r.responsive);
+    EXPECT_EQ(r.evidence_fraction, 0.0);
+  }
+}
+
 TEST(Health, AllHealthyIn2019) {
   sim::WorldConfig wc;
   wc.num_blocks = 400;

@@ -2,16 +2,19 @@
 //
 //   diurnal_cli run      [--blocks N] [--seed S] [--dataset D]
 //                        [--classify D2] [--country CC] [--out PREFIX]
-//                        [--discover] [--validate]
+//                        [--fault SCENARIO] [--discover] [--validate]
 //   diurnal_cli block    [--dataset D] [--id A.B.C.0/24 | --usc | --vpn]
+//                        [--fault SCENARIO]
 //   diurnal_cli datasets
 //   diurnal_cli sites
+//   diurnal_cli faults
 //
 // `run` executes probe -> reconstruct -> classify -> detect -> aggregate
 // over a synthetic world, optionally exporting CSVs (--out), discovering
 // regional events (--discover), and scoring against ground truth
 // (--validate).  `block` runs the single-block pipeline and prints the
-// Figure-1-style story for one /24.
+// Figure-1-style story for one /24.  `--fault` injects a named observer
+// fault scenario (see `faults`) and reports the degradation summary.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +25,7 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "fault/fault_plan.h"
 #include "geo/countries.h"
 #include "recon/block_recon.h"
 
@@ -38,6 +42,7 @@ struct Args {
   std::optional<std::string> country;
   std::optional<std::string> out_prefix;
   std::optional<std::string> block_id;
+  std::optional<std::string> fault_scenario;
   bool usc = false;
   bool vpn = false;
   bool discover = false;
@@ -48,9 +53,11 @@ struct Args {
   std::fprintf(stderr,
                "usage: diurnal_cli run [--blocks N] [--seed S] [--dataset D]\n"
                "                       [--classify D2] [--country CC]\n"
-               "                       [--out PREFIX] [--discover] [--validate]\n"
+               "                       [--out PREFIX] [--fault SCENARIO]\n"
+               "                       [--discover] [--validate]\n"
                "       diurnal_cli block [--dataset D] [--id A.B.C.0/24|--usc|--vpn]\n"
-               "       diurnal_cli datasets | sites\n");
+               "                       [--fault SCENARIO]\n"
+               "       diurnal_cli datasets | sites | faults\n");
   std::exit(2);
 }
 
@@ -71,6 +78,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--country") a.country = value();
     else if (flag == "--out") a.out_prefix = value();
     else if (flag == "--id") a.block_id = value();
+    else if (flag == "--fault") a.fault_scenario = value();
     else if (flag == "--usc") a.usc = true;
     else if (flag == "--vpn") a.vpn = true;
     else if (flag == "--discover") a.discover = true;
@@ -90,6 +98,9 @@ int cmd_run(const Args& a) {
   core::FleetConfig fc;
   fc.dataset = core::dataset(a.dataset);
   if (a.classify_dataset) fc.classify_dataset = core::dataset(*a.classify_dataset);
+  if (a.fault_scenario) {
+    fc.faults = fault::scenario(*a.fault_scenario, fc.dataset.window());
+  }
   const auto fleet = core::run_fleet(world, fc);
   const auto& f = fleet.funnel;
   std::printf("funnel: routed %lld | responsive %lld | diurnal %lld | "
@@ -99,6 +110,18 @@ int cmd_run(const Args& a) {
               static_cast<long long>(f.diurnal),
               static_cast<long long>(f.wide_swing),
               static_cast<long long>(f.change_sensitive));
+  if (a.fault_scenario) {
+    const auto& d = fleet.degradation;
+    std::printf("degraded fleet (--fault %s): %lld/%lld blocks degraded, "
+                "%lld low-confidence, %lld missing observers, "
+                "mean evidence %.3f\n",
+                a.fault_scenario->c_str(),
+                static_cast<long long>(d.degraded_blocks),
+                static_cast<long long>(d.probed_blocks),
+                static_cast<long long>(d.low_confidence_blocks),
+                static_cast<long long>(d.blocks_missing_observers),
+                d.mean_evidence_fraction);
+  }
 
   const auto agg = core::aggregate_changes(world, fleet, fc);
   if (a.discover) {
@@ -144,11 +167,22 @@ int cmd_block(const Args& a) {
   recon::BlockObservationConfig oc;
   oc.observers = ds.observers();
   oc.window = ds.window();
+  fault::FaultPlan plan;
+  if (a.fault_scenario) {
+    plan = fault::scenario(*a.fault_scenario, ds.window());
+    oc.faults = &plan;
+  }
   const auto r = recon::observe_and_reconstruct(*block, oc);
   const auto cls = core::classify_block(r);
   std::printf("%s: |E(b)| %d, max active %.0f, reply rate %.3f\n",
               id.to_string().c_str(), r.eb_count, r.max_active,
               r.mean_reply_rate);
+  if (a.fault_scenario) {
+    std::printf("degraded (--fault %s): evidence %.3f, max gap %.1f h%s\n",
+                a.fault_scenario->c_str(), r.evidence_fraction,
+                r.max_gap_seconds / 3600.0,
+                cls.low_confidence ? "  [LOW CONFIDENCE]" : "");
+  }
   std::printf("diurnal %s (ratio %.2f), wide swing %s (max %.0f) -> "
               "change-sensitive %s\n",
               cls.diurnal ? "yes" : "no", cls.diurnal_detail.power_ratio,
@@ -176,6 +210,12 @@ int main(int argc, char** argv) {
       std::printf("%-12s %-50s %s %2d weeks\n", d.abbr.c_str(),
                   d.full_name.c_str(), util::to_string(d.start).c_str(),
                   d.duration_weeks);
+    }
+    return 0;
+  }
+  if (a.command == "faults") {
+    for (const auto& name : fault::scenario_names()) {
+      std::printf("%s\n", name.c_str());
     }
     return 0;
   }

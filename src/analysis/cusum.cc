@@ -4,65 +4,113 @@
 
 namespace diurnal::analysis {
 
-CusumResult cusum_detect(std::span<const double> x, const CusumOptions& opt) {
-  CusumResult res;
-  const std::size_t n = x.size();
-  res.g_pos.assign(n, 0.0);
-  res.g_neg.assign(n, 0.0);
-  if (n < 2) return res;
+void OnlineCusum::begin(const CusumOptions& opt) {
+  opt_ = opt;
+  x_.clear();
+  g_pos_.clear();
+  g_neg_.clear();
+  changes_.clear();
+  i_ = 1;
+  gp_ = gn_ = 0.0;
+  tap_ = tan_ = 0;
+  excursion_ = false;
+  up_ = false;
+  g_ = peak_ = 0.0;
+  start_ = alarm_ = end_ = j_ = 0;
+}
 
-  double gp = 0.0, gn = 0.0;
-  std::size_t tap = 0, tan = 0;  // last zero-crossings of each accumulator
-  for (std::size_t i = 1; i < n; ++i) {
-    const double s = x[i] - x[i - 1];
-    gp = gp + s - opt.drift;
-    gn = gn - s - opt.drift;
-    if (gp < 0.0) {
-      gp = 0.0;
-      tap = i;
-    }
-    if (gn < 0.0) {
-      gn = 0.0;
-      tan = i;
-    }
-    res.g_pos[i] = gp;
-    res.g_neg[i] = gn;
+void OnlineCusum::confirm() {
+  ChangePoint cp;
+  cp.start = start_;
+  cp.alarm = alarm_;
+  cp.end = end_;
+  cp.direction = up_ ? ChangeDirection::kUp : ChangeDirection::kDown;
+  cp.amplitude = x_[end_] - x_[start_];
+  changes_.push_back(cp);
+  // Reset both accumulators after the excursion and resume scanning at
+  // end + 1 (the batch loop's i = max(i, end) plus its increment; the
+  // samples the excursion scan consumed past `end` are re-accumulated,
+  // exactly as in the batch pass).
+  gp_ = gn_ = 0.0;
+  tap_ = tan_ = end_;
+  i_ = end_ + 1;
+  excursion_ = false;
+}
 
-    if (gp > opt.threshold || gn > opt.threshold) {
-      ChangePoint cp;
-      cp.alarm = i;
-      const bool up = gp > opt.threshold;
-      cp.direction = up ? ChangeDirection::kUp : ChangeDirection::kDown;
-      cp.start = up ? tap : tan;
+void OnlineCusum::drive(bool at_end) {
+  const std::size_t n = x_.size();
+  for (;;) {
+    if (excursion_) {
       // Track the excursion forward to estimate where it stops growing:
       // continue the same-direction accumulation (without drift) and
-      // take the argmax; stop once it decays to half its peak or the
-      // series ends.
-      double g = up ? gp : gn;
-      double peak = g;
-      std::size_t end = i;
-      std::size_t j = i;
-      while (j + 1 < n) {
-        ++j;
-        const double sj = x[j] - x[j - 1];
-        g += up ? sj : -sj;
-        if (g > peak) {
-          peak = g;
-          end = j;
+      // take the argmax; confirm once it decays to half its peak or the
+      // stream ends.
+      if (j_ + 1 < n) {
+        ++j_;
+        const double sj = x_[j_] - x_[j_ - 1];
+        g_ += up_ ? sj : -sj;
+        if (g_ > peak_) {
+          peak_ = g_;
+          end_ = j_;
         }
-        if (g <= 0.0 || g < 0.5 * peak) break;
+        if (g_ <= 0.0 || g_ < 0.5 * peak_) confirm();
+      } else if (at_end) {
+        confirm();
+      } else {
+        return;  // still growing: wait for more samples
       }
-      cp.end = end;
-      cp.amplitude = x[cp.end] - x[cp.start];
-      res.changes.push_back(cp);
-
-      // Reset both accumulators after the excursion and resume scanning.
-      gp = gn = 0.0;
-      tap = tan = end;
-      i = std::max(i, end);
+      continue;
+    }
+    if (i_ >= n) return;
+    const double s = x_[i_] - x_[i_ - 1];
+    gp_ = gp_ + s - opt_.drift;
+    gn_ = gn_ - s - opt_.drift;
+    if (gp_ < 0.0) {
+      gp_ = 0.0;
+      tap_ = i_;
+    }
+    if (gn_ < 0.0) {
+      gn_ = 0.0;
+      tan_ = i_;
+    }
+    g_pos_[i_] = gp_;
+    g_neg_[i_] = gn_;
+    if (gp_ > opt_.threshold || gn_ > opt_.threshold) {
+      up_ = gp_ > opt_.threshold;
+      start_ = up_ ? tap_ : tan_;
+      alarm_ = i_;
+      g_ = up_ ? gp_ : gn_;
+      peak_ = g_;
+      end_ = i_;
+      j_ = i_;
+      excursion_ = true;
+    } else {
+      ++i_;
     }
   }
+}
+
+void OnlineCusum::push(double value) {
+  x_.push_back(value);
+  g_pos_.push_back(0.0);
+  g_neg_.push_back(0.0);
+  drive(false);
+}
+
+CusumResult OnlineCusum::finish() {
+  drive(true);
+  CusumResult res;
+  res.changes = std::move(changes_);
+  res.g_pos = std::move(g_pos_);
+  res.g_neg = std::move(g_neg_);
   return res;
+}
+
+CusumResult cusum_detect(std::span<const double> x, const CusumOptions& opt) {
+  OnlineCusum c;
+  c.begin(opt);
+  for (const double v : x) c.push(v);
+  return c.finish();
 }
 
 std::vector<DatedChange> cusum_detect_dated(const util::TimeSeries& series,

@@ -39,7 +39,60 @@ struct CusumResult {
   std::vector<double> g_neg;
 };
 
-/// Runs two-sided CUSUM over x.
+/// Resumable two-sided CUSUM: the batch scan carved into begin / push /
+/// finish so the streaming engine can drive detection as samples arrive
+/// and still confirm the byte-identical change points.  The batch scan
+/// looks ahead after an alarm (the excursion's end is the argmax of the
+/// continued accumulation, confirmed when it decays or the series
+/// ends); push() therefore advances only as far as the data decides —
+/// an excursion still growing at the end of the pushed prefix stays
+/// open until more samples arrive or finish() declares end-of-stream.
+/// confirmed() is a stable prefix: a change, once reported, is final.
+/// cusum_detect() below is one full pass of this machine.
+class OnlineCusum {
+ public:
+  /// Re-initializes, reusing internal buffers.
+  void begin(const CusumOptions& opt = {});
+
+  /// Feeds the next sample and advances the scan as far as decidable.
+  void push(double value);
+
+  /// Changes confirmed so far — batch-identical indices into the pushed
+  /// sequence, in confirmation order.
+  const std::vector<ChangePoint>& confirmed() const noexcept {
+    return changes_;
+  }
+
+  /// Samples pushed so far.
+  std::size_t size() const noexcept { return x_.size(); }
+
+  /// End of stream: resolves any open excursion exactly as the batch
+  /// scan does at the series end, and moves out the full result.  The
+  /// state is spent afterwards; call begin() to reuse it.
+  CusumResult finish();
+
+ private:
+  void drive(bool at_end);
+  void confirm();
+
+  CusumOptions opt_{};
+  std::vector<double> x_;
+  std::vector<double> g_pos_;
+  std::vector<double> g_neg_;
+  std::vector<ChangePoint> changes_;
+  std::size_t i_ = 1;  ///< next index the scan will process
+  double gp_ = 0.0, gn_ = 0.0;
+  std::size_t tap_ = 0, tan_ = 0;  ///< last zero-crossings
+  // Open-excursion state (valid while excursion_).
+  bool excursion_ = false;
+  bool up_ = false;
+  double g_ = 0.0, peak_ = 0.0;
+  std::size_t start_ = 0, alarm_ = 0, end_ = 0;
+  std::size_t j_ = 0;  ///< last index consumed by the excursion scan
+};
+
+/// Runs two-sided CUSUM over x.  One full pass of the OnlineCusum
+/// machine.
 CusumResult cusum_detect(std::span<const double> x, const CusumOptions& opt = {});
 
 /// A change annotated with calendar data, produced from a TimeSeries.

@@ -1,0 +1,21 @@
+// Canonical fleet-result digest: an order-sensitive FNV-1a hash over
+// the funnel, every per-block outcome, and every detected change.  Two
+// runs produce the same digest iff they made identical decisions for
+// identical blocks in identical order, so the digest is the
+// determinism and batch/streaming-equivalence oracle (degradation
+// accounting is intentionally excluded — it annotates, never decides).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace diurnal::core {
+
+std::uint64_t fleet_digest(const FleetResult& r);
+
+/// 16-digit lowercase hex, the form used in golden values and logs.
+std::string digest_hex(std::uint64_t d);
+
+}  // namespace diurnal::core

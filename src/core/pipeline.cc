@@ -1,143 +1,15 @@
 #include "core/pipeline.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
+#include "core/streaming.h"
 
 namespace diurnal::core {
 
-namespace {
-
-recon::BlockObservationConfig observation_config(const FleetConfig& cfg,
-                                                 const DatasetSpec& ds) {
-  recon::BlockObservationConfig oc;
-  oc.observers = ds.observers();
-  oc.loss = probe::LossModel(cfg.loss);
-  oc.window = ds.window();
-  oc.prober.kind =
-      ds.survey ? probe::ProberKind::kSurvey : probe::ProberKind::kTrinocular;
-  oc.one_loss_repair = cfg.one_loss_repair;
-  oc.additional_observations = cfg.additional_observations;
-  oc.faults = &cfg.faults;
-  oc.recon = cfg.recon;
-  return oc;
-}
-
-// Degraded-mode annotation: a change whose evidence window overlaps a
-// coverage gap (or whose whole reconstruction fell below the confidence
-// floor) may be observers failing rather than humans moving.  One day of
-// slack on each side, because STL smoothing and CUSUM change-dating can
-// land the excursion boundary a few samples off the gap edge.
-void annotate_low_evidence(std::vector<DetectedChange>& changes,
-                           const recon::ReconResult& recon,
-                           double evidence_floor) {
-  if (changes.empty()) return;
-  const bool all_low = recon.evidence_fraction < evidence_floor;
-  constexpr util::SimTime kSlack = util::kSecondsPerDay;
-  for (auto& c : changes) {
-    if (all_low) {
-      c.low_evidence = true;
-      continue;
-    }
-    for (const auto& g : recon.gaps) {
-      if (c.start - kSlack < g.end && c.end + kSlack > g.start) {
-        c.low_evidence = true;
-        break;
-      }
-    }
-  }
-}
-
-}  // namespace
-
+// One pipeline implementation: the batch entry point is the streaming
+// engine driven start-to-finish (see core/streaming.h for the staging
+// and the equivalence contract).
 FleetResult run_fleet(const sim::World& world, const FleetConfig& config) {
-  const auto& blocks = world.blocks();
-  FleetResult result;
-  result.outcomes.resize(blocks.size());
-  result.degradation.blocks.resize(blocks.size());
-
-  const DatasetSpec& classify_ds =
-      config.classify_dataset ? *config.classify_dataset : config.dataset;
-  const bool same_window =
-      !config.classify_dataset ||
-      (classify_ds.window().start == config.dataset.window().start &&
-       classify_ds.window().end == config.dataset.window().end &&
-       classify_ds.sites == config.dataset.sites &&
-       classify_ds.survey == config.dataset.survey);
-
-  const auto classify_oc = observation_config(config, classify_ds);
-  const auto detect_oc = observation_config(config, config.dataset);
-  const double evidence_floor = config.classifier.min_evidence_fraction;
-
-  unsigned n_threads = config.threads > 0
-                           ? static_cast<unsigned>(config.threads)
-                           : std::max(1u, std::thread::hardware_concurrency());
-  n_threads = std::min<unsigned>(n_threads, 64);
-
-  // Chunked self-scheduling: workers steal fixed runs of consecutive
-  // blocks from a shared counter.  Chunks amortize the atomic to one
-  // fetch_add per kChunk blocks while still load-balancing (block costs
-  // vary by orders of magnitude between categories); consecutive blocks
-  // also keep each worker's scratch buffers at a stable working size.
-  // Each block's outcome and degradation row land in their own result
-  // slots, so the schedule cannot affect the output (see bench_fleet's
-  // determinism gate) — fault injection included, because every fault
-  // draw is a stateless hash, never shared RNG state.
-  constexpr std::size_t kChunk = 16;
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    probe::ProbeScratch scratch;
-    recon::DegradedReconResult classify_dr;
-    recon::DegradedReconResult detect_dr;
-    for (;;) {
-      const std::size_t begin =
-          next.fetch_add(kChunk, std::memory_order_relaxed);
-      if (begin >= blocks.size()) return;
-      const std::size_t end = std::min(begin + kChunk, blocks.size());
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto& block = blocks[i];
-        BlockOutcome& out = result.outcomes[i];
-        out.id = block.id;
-        if (block.eb_count == 0) continue;  // never responds
-
-        recon::observe_and_reconstruct_degraded(block, classify_oc, scratch,
-                                                classify_dr);
-        const recon::ReconResult& classify_recon = classify_dr.recon;
-        out.cls = classify_block(classify_recon, config.classifier);
-        result.degradation.blocks[i] = fault::summarize_block(
-            classify_dr.observers,
-            static_cast<int>(classify_dr.observers.size()), classify_oc.window,
-            classify_recon.evidence_fraction, classify_recon.max_gap_seconds,
-            evidence_floor);
-        if (!out.cls.change_sensitive || !config.run_detection) continue;
-
-        if (same_window) {
-          out.changes =
-              detect_changes(classify_recon.counts, config.detector).changes;
-          annotate_low_evidence(out.changes, classify_recon, evidence_floor);
-        } else {
-          recon::observe_and_reconstruct_degraded(block, detect_oc, scratch,
-                                                  detect_dr);
-          out.changes =
-              detect_changes(detect_dr.recon.counts, config.detector).changes;
-          annotate_low_evidence(out.changes, detect_dr.recon, evidence_floor);
-        }
-      }
-    }
-  };
-
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
-
-  for (const auto& out : result.outcomes) result.funnel.add(out.cls);
-  result.degradation.finalize();
-  return result;
+  StreamingFleet fleet(world, config);
+  return fleet.run_to_completion();
 }
 
 ChangeAggregator aggregate_changes(const sim::World& world,

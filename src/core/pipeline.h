@@ -46,6 +46,14 @@ struct FleetConfig {
   /// Run change detection on change-sensitive blocks.
   bool run_detection = true;
 
+  /// When the classification window is a prefix of the detection window
+  /// (same start, same observers, no skew faults), observe once over
+  /// the detection window and fork the classification reconstruction at
+  /// the boundary instead of re-observing the overlap.  Results are
+  /// bit-identical either way; disable only to cross-check that
+  /// equivalence or to time the two-pass path.
+  bool fuse_observation_windows = true;
+
   int threads = 0;  ///< 0 = hardware concurrency
 };
 

@@ -1,0 +1,481 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <span>
+#include <thread>
+
+#include "analysis/stl.h"
+
+namespace diurnal::core {
+
+namespace {
+
+recon::BlockObservationConfig observation_config(const FleetConfig& cfg,
+                                                 const DatasetSpec& ds) {
+  recon::BlockObservationConfig oc;
+  oc.observers = ds.observers();
+  oc.loss = probe::LossModel(cfg.loss);
+  oc.window = ds.window();
+  oc.prober.kind =
+      ds.survey ? probe::ProberKind::kSurvey : probe::ProberKind::kTrinocular;
+  oc.one_loss_repair = cfg.one_loss_repair;
+  oc.additional_observations = cfg.additional_observations;
+  oc.faults = &cfg.faults;
+  oc.recon = cfg.recon;
+  return oc;
+}
+
+// Degraded-mode annotation: a change whose evidence window overlaps a
+// coverage gap (or whose whole reconstruction fell below the confidence
+// floor) may be observers failing rather than humans moving.  One day of
+// slack on each side, because STL smoothing and CUSUM change-dating can
+// land the excursion boundary a few samples off the gap edge.
+void annotate_low_evidence(std::vector<DetectedChange>& changes,
+                           const recon::ReconResult& recon,
+                           double evidence_floor) {
+  if (changes.empty()) return;
+  const bool all_low = recon.evidence_fraction < evidence_floor;
+  constexpr util::SimTime kSlack = util::kSecondsPerDay;
+  for (auto& c : changes) {
+    if (all_low) {
+      c.low_evidence = true;
+      continue;
+    }
+    for (const auto& g : recon.gaps) {
+      if (c.start - kSlack < g.end && c.end + kSlack > g.start) {
+        c.low_evidence = true;
+        break;
+      }
+    }
+  }
+}
+
+unsigned resolve_threads(int requested) {
+  const unsigned n = requested > 0
+                         ? static_cast<unsigned>(requested)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  return std::min<unsigned>(n, 64);
+}
+
+// Chunked self-scheduling: workers steal fixed runs of consecutive
+// blocks from a shared counter.  Chunks amortize the atomic to one
+// fetch_add per kChunk blocks while still load-balancing (block costs
+// vary by orders of magnitude between categories); consecutive blocks
+// also keep each worker's scratch buffers at a stable working size.
+// Each block's state and result slots are its own, so the schedule
+// cannot affect the output (see bench_fleet's determinism gate) —
+// fault injection included, because every fault draw is a stateless
+// hash, never shared RNG state.
+constexpr std::size_t kChunk = 16;
+
+/// `make_worker()` builds one worker closure (owning its scratch); each
+/// runs until the shared counter is exhausted.
+template <typename MakeWorker>
+void run_pool(unsigned n_threads, MakeWorker&& make_worker) {
+  if (n_threads <= 1) {
+    make_worker()();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(make_worker());
+  for (auto& t : pool) t.join();
+}
+
+/// Trailing-window span for the provisional detector's STL re-fits, in
+/// seasonal periods: long enough that the right edge of the trend is
+/// anchored by a few full cycles, short enough that the per-epoch cost
+/// stays flat as the stream grows.
+constexpr std::size_t kTrailPeriods = 5;
+
+}  // namespace
+
+StreamingFleet::StreamingFleet(const sim::World& world,
+                               const FleetConfig& config)
+    : world_(world), config_(config) {
+  const DatasetSpec& classify_ds =
+      config.classify_dataset ? *config.classify_dataset : config.dataset;
+  window_ = config.dataset.window();
+  classify_window_ = classify_ds.window();
+  const bool same_window =
+      !config.classify_dataset ||
+      (classify_window_.start == window_.start &&
+       classify_window_.end == window_.end &&
+       classify_ds.sites == config.dataset.sites &&
+       classify_ds.survey == config.dataset.survey);
+  // The fused single pass requires the classification stream to be a
+  // prefix slice of the detection stream: same start and observers so
+  // the rounds coincide, and no skew faults because retiming drops
+  // depend on the window span.
+  const bool nested = classify_window_.start == window_.start &&
+                      classify_window_.end <= window_.end &&
+                      classify_ds.sites == config.dataset.sites &&
+                      classify_ds.survey == config.dataset.survey &&
+                      config.faults.skews.empty();
+  mode_ = same_window ? Mode::kSame
+                      : (config.fuse_observation_windows && nested
+                             ? Mode::kUnion
+                             : Mode::kSeparate);
+  classify_oc_ = observation_config(config, classify_ds);
+  detect_oc_ = observation_config(config, config.dataset);
+  evidence_floor_ = config.classifier.min_evidence_fraction;
+  threads_ = resolve_threads(config.threads);
+
+  result_.outcomes.resize(world.blocks().size());
+  result_.degradation.blocks.resize(world.blocks().size());
+  clock_ = window_.start;
+}
+
+void StreamingFleet::classify_outcome(std::size_t i,
+                                      const recon::DegradedReconResult& dr) {
+  BlockOutcome& out = result_.outcomes[i];
+  out.cls = classify_block(dr.recon, config_.classifier);
+  result_.degradation.blocks[i] = fault::summarize_block(
+      dr.observers, static_cast<int>(dr.observers.size()), classify_oc_.window,
+      dr.recon.evidence_fraction, dr.recon.max_gap_seconds, evidence_floor_);
+}
+
+void StreamingFleet::detect_outcome(std::size_t i,
+                                    const recon::ReconResult& recon) {
+  BlockOutcome& out = result_.outcomes[i];
+  out.changes = detect_changes(recon.counts, config_.detector).changes;
+  annotate_low_evidence(out.changes, recon, evidence_floor_);
+}
+
+void StreamingFleet::finish_result() {
+  result_.funnel = FunnelCounts{};
+  for (const auto& out : result_.outcomes) result_.funnel.add(out.cls);
+  result_.degradation.finalize();
+  finished_ = true;
+}
+
+FleetResult StreamingFleet::run_to_completion() {
+  assert(!finished_ && cells_.empty());
+  const auto& blocks = world_.blocks();
+  std::atomic<std::size_t> next{0};
+  auto make_worker = [&] {
+    return [&] {
+      probe::ProbeScratch scratch;
+      recon::BlockStream stream;
+      recon::DegradedReconResult classify_dr;
+      recon::DegradedReconResult detect_dr;
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= blocks.size()) return;
+        const std::size_t end = std::min(begin + kChunk, blocks.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& block = blocks[i];
+          BlockOutcome& out = result_.outcomes[i];
+          out.id = block.id;
+          if (block.eb_count == 0) continue;  // never responds
+          switch (mode_) {
+            case Mode::kSame:
+              stream.begin(block, detect_oc_, scratch);
+              stream.finalize(classify_dr);
+              classify_outcome(i, classify_dr);
+              if (out.cls.change_sensitive && config_.run_detection) {
+                detect_outcome(i, classify_dr.recon);
+              }
+              break;
+            case Mode::kUnion:
+              stream.begin(block, detect_oc_, scratch, classify_window_.end);
+              stream.advance_to(classify_window_.end);
+              stream.finalize_classify(classify_dr);
+              classify_outcome(i, classify_dr);
+              if (out.cls.change_sensitive && config_.run_detection) {
+                stream.finalize(detect_dr);
+                detect_outcome(i, detect_dr.recon);
+              }
+              break;
+            case Mode::kSeparate:
+              stream.begin(block, classify_oc_, scratch);
+              stream.finalize(classify_dr);
+              classify_outcome(i, classify_dr);
+              if (out.cls.change_sensitive && config_.run_detection) {
+                stream.begin(block, detect_oc_, scratch);
+                stream.finalize(detect_dr);
+                detect_outcome(i, detect_dr.recon);
+              }
+              break;
+          }
+        }
+      }
+    };
+  };
+  run_pool(threads_, make_worker);
+  finish_result();
+  return std::move(result_);
+}
+
+void StreamingFleet::begin_cell(std::size_t i, probe::ProbeScratch& scratch) {
+  const auto& block = world_.blocks()[i];
+  Cell& c = cells_[i];
+  result_.outcomes[i].id = block.id;
+  c.begun = true;
+  if (block.eb_count == 0) {
+    c.classified = true;  // trivially: never responds
+    c.screened = true;
+    return;
+  }
+  if (mode_ == Mode::kUnion) {
+    c.stream.begin(block, detect_oc_, scratch, classify_window_.end);
+  } else {
+    c.stream.begin(block, detect_oc_, scratch);
+  }
+  c.active = true;
+}
+
+void StreamingFleet::screen_cell(std::size_t i) {
+  Cell& c = cells_[i];
+  const std::int64_t step = detect_oc_.recon.sample_step;
+  if (step <= 0) {
+    c.screened = true;
+    return;
+  }
+  const std::size_t period =
+      static_cast<std::size_t>(config_.detector.period_seconds / step);
+  if (period < 2 || !config_.run_detection) {
+    c.screened = true;  // nothing the watch could feed
+    return;
+  }
+  const auto& rs = c.stream.recon_state();
+  if (rs.emitted() < 2 * period) return;  // not yet decidable
+  // Provisional screen: classify a truncated snapshot of the stream so
+  // far.  The verdict is only a watch decision — the authoritative
+  // classification happens at finalize over the full window.
+  recon::ReconResult res;
+  rs.snapshot(res);
+  const auto cls = classify_block(res, config_.classifier);
+  c.screened = true;
+  c.watched = cls.change_sensitive;
+}
+
+void StreamingFleet::update_provisional(std::size_t i,
+                                        std::vector<ProvisionalChange>& out) {
+  Cell& c = cells_[i];
+  const std::int64_t step = detect_oc_.recon.sample_step;
+  const std::size_t period =
+      static_cast<std::size_t>(config_.detector.period_seconds / step);
+  const auto& rs = c.stream.recon_state();
+  const std::size_t emitted = rs.emitted();
+  if (period < 2 || emitted < 2 * period || emitted <= c.trend_fed) return;
+  if (c.tn == 0) c.cusum.begin(config_.detector.cusum);
+
+  // Trailing-window STL re-fit: bounded per-epoch cost.  If the last fit
+  // is older than the trailing span (an epoch longer than the span),
+  // stretch the window back to it so the z sequence stays contiguous —
+  // the CUSUM's indices map 1:1 onto samples trend_base + k.
+  std::size_t first = emitted - std::min(emitted, kTrailPeriods * period);
+  if (c.tn > 0 && c.trend_fed < first) first = c.trend_fed;
+  analysis::StlOptions stl = config_.detector.stl;
+  stl.period = static_cast<int>(period);
+  if (stl.trend_span == 0) {
+    stl.trend_span = static_cast<int>(period + period / 4 + 1);
+  }
+  const auto& samples = rs.samples();
+  const auto dec = analysis::stl_decompose(
+      std::span<const double>(samples.data() + first, emitted - first), stl);
+
+  if (c.tn == 0) c.trend_base = first;
+  for (std::size_t idx = std::max(c.trend_fed, first); idx < emitted; ++idx) {
+    // Freeze the trend as first estimated and z-normalize with running
+    // moments: the stream sees each value once, so this is what an
+    // online detector can actually know at that point in time.
+    const double v = dec.trend[idx - first];
+    ++c.tn;
+    c.tsum += v;
+    c.tsum2 += v * v;
+    const double mean = c.tsum / static_cast<double>(c.tn);
+    const double var =
+        std::max(0.0, c.tsum2 / static_cast<double>(c.tn) - mean * mean);
+    const double sd = std::sqrt(var);
+    c.cusum.push(sd > 1e-9 ? (v - mean) / sd : 0.0);
+  }
+  c.trend_fed = emitted;
+
+  const auto& confirmed = c.cusum.confirmed();
+  for (; c.reported < confirmed.size(); ++c.reported) {
+    const auto& cp = confirmed[c.reported];
+    ProvisionalChange pc;
+    pc.id = result_.outcomes[i].id;
+    pc.start = window_.start +
+               static_cast<std::int64_t>(c.trend_base + cp.start) * step;
+    pc.alarm = window_.start +
+               static_cast<std::int64_t>(c.trend_base + cp.alarm) * step;
+    pc.end =
+        window_.start + static_cast<std::int64_t>(c.trend_base + cp.end) * step;
+    pc.direction = cp.direction;
+    pc.amplitude = cp.amplitude;
+    out.push_back(pc);
+  }
+}
+
+EpochReport StreamingFleet::advance_to(util::SimTime until) {
+  assert(!finished_);
+  const auto& blocks = world_.blocks();
+  cells_.resize(blocks.size());
+  until = std::clamp(until, window_.start, window_.end);
+  until = std::max(until, clock_);
+
+  EpochReport rep;
+  rep.epoch_index = epoch_index_++;
+  rep.epoch_start = clock_;
+  rep.epoch_end = until;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> delivered{0};
+  std::atomic<unsigned> worker_ids{0};
+  std::vector<std::vector<ProvisionalChange>> found(threads_);
+  auto make_worker = [&] {
+    return [&] {
+      const unsigned wid = worker_ids.fetch_add(1);
+      probe::ProbeScratch scratch;
+      recon::BlockStream cpass;
+      recon::DegradedReconResult dr;
+      std::size_t local_delivered = 0;
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= blocks.size()) break;
+        const std::size_t end = std::min(begin + kChunk, blocks.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          Cell& c = cells_[i];
+          if (!c.begun) begin_cell(i, scratch);
+          if (!c.active) continue;
+          c.stream.set_scratch(scratch);
+          if (mode_ == Mode::kUnion && !c.classified) {
+            c.stream.advance_to(std::min(until, classify_window_.end));
+            if (until >= classify_window_.end) {
+              c.stream.finalize_classify(dr);
+              classify_outcome(i, dr);
+              c.classified = true;
+              c.screened = true;
+              c.watched = result_.outcomes[i].cls.change_sensitive &&
+                          config_.run_detection;
+              if (c.watched) {
+                c.stream.advance_to(until);
+              } else {
+                c.active = false;  // verdict final, no detection to feed
+              }
+            }
+          } else {
+            c.stream.advance_to(until);
+          }
+          if (mode_ == Mode::kSeparate && !c.classified &&
+              until >= classify_window_.end) {
+            // The classification window is fully in the past: run its
+            // dedicated pass now so the verdict lands on the epoch when
+            // the data became available.
+            cpass.begin(blocks[i], classify_oc_, scratch);
+            cpass.finalize(dr);
+            classify_outcome(i, dr);
+            c.classified = true;
+            c.screened = true;
+            c.watched = result_.outcomes[i].cls.change_sensitive &&
+                        config_.run_detection;
+            if (!c.watched) c.active = false;
+          }
+          const std::size_t d = c.stream.delivered_observations();
+          local_delivered += d - c.delivered;
+          c.delivered = d;
+          if (mode_ == Mode::kSame && !c.screened) screen_cell(i);
+          if (c.watched) update_provisional(i, found[wid]);
+        }
+      }
+      delivered.fetch_add(local_delivered, std::memory_order_relaxed);
+    };
+  };
+  run_pool(threads_, make_worker);
+
+  clock_ = until;
+  rep.observations = delivered.load();
+  for (auto& f : found) {
+    rep.provisional.insert(rep.provisional.end(), f.begin(), f.end());
+  }
+  std::sort(rep.provisional.begin(), rep.provisional.end(),
+            [](const ProvisionalChange& a, const ProvisionalChange& b) {
+              if (a.alarm != b.alarm) return a.alarm < b.alarm;
+              return a.id.id() < b.id.id();
+            });
+  if (mode_ != Mode::kSame && clock_ >= classify_window_.end) {
+    rep.classification_complete = true;
+    for (const auto& out : result_.outcomes) rep.funnel.add(out.cls);
+  }
+  return rep;
+}
+
+FleetResult StreamingFleet::finalize() {
+  assert(!finished_);
+  const auto& blocks = world_.blocks();
+  cells_.resize(blocks.size());
+  std::atomic<std::size_t> next{0};
+  auto make_worker = [&] {
+    return [&] {
+      probe::ProbeScratch scratch;
+      recon::BlockStream cpass;
+      recon::DegradedReconResult classify_dr;
+      recon::DegradedReconResult detect_dr;
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= blocks.size()) return;
+        const std::size_t end = std::min(begin + kChunk, blocks.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& block = blocks[i];
+          Cell& c = cells_[i];
+          if (!c.begun) begin_cell(i, scratch);
+          if (block.eb_count == 0) continue;
+          c.stream.set_scratch(scratch);
+          BlockOutcome& out = result_.outcomes[i];
+          switch (mode_) {
+            case Mode::kSame:
+              c.stream.finalize(classify_dr);
+              classify_outcome(i, classify_dr);
+              c.classified = true;
+              if (out.cls.change_sensitive && config_.run_detection) {
+                detect_outcome(i, classify_dr.recon);
+              }
+              break;
+            case Mode::kUnion:
+              if (!c.classified) {
+                c.stream.advance_to(classify_window_.end);
+                c.stream.finalize_classify(classify_dr);
+                classify_outcome(i, classify_dr);
+                c.classified = true;
+                c.active =
+                    out.cls.change_sensitive && config_.run_detection;
+              }
+              if (c.active) {
+                c.stream.finalize(detect_dr);
+                detect_outcome(i, detect_dr.recon);
+              }
+              break;
+            case Mode::kSeparate:
+              if (!c.classified) {
+                cpass.begin(block, classify_oc_, scratch);
+                cpass.finalize(classify_dr);
+                classify_outcome(i, classify_dr);
+                c.classified = true;
+              }
+              if (out.cls.change_sensitive && config_.run_detection) {
+                c.stream.finalize(detect_dr);
+                detect_outcome(i, detect_dr.recon);
+              }
+              break;
+          }
+          c.active = false;
+        }
+      }
+    };
+  };
+  run_pool(threads_, make_worker);
+  finish_result();
+  cells_.clear();
+  return std::move(result_);
+}
+
+}  // namespace diurnal::core

@@ -1,0 +1,144 @@
+// Streaming fleet engine: the staged, round-by-round pipeline over a
+// whole world.  One implementation serves both drives:
+//
+//   * run_to_completion() — the batch drive.  Each worker runs one
+//     block's BlockStream start-to-finish; run_fleet() is a thin
+//     wrapper over this.  When the classification window is a prefix of
+//     the detection window (same start, same observers), both results
+//     come from ONE observation pass: the stream forks a second
+//     reconstruction at the classification boundary instead of
+//     re-observing the overlap.
+//
+//   * advance_to()/finalize() — the incremental drive.  Rounds are
+//     ingested epoch by epoch across every block; each advance returns
+//     an EpochReport with delivery counts, classification progress, and
+//     *provisional* change alarms (trailing-window STL + online CUSUM
+//     over the stable emitted-sample prefix).  finalize() then produces
+//     the authoritative FleetResult, bit-identical to the batch drive —
+//     the per-block state machines guarantee that any advance schedule
+//     finalizes to the same bytes.
+//
+// Provisional vs authoritative: epoch alarms are early warnings, not
+// detections.  They z-normalize with running statistics and freeze the
+// trend as first estimated (the trailing STL's rightmost values, where
+// the fit is least stable), so they can lead, lag, or miss the final
+// verdict; only finalize()'s full-window detection is comparable across
+// runs and hashed by the fleet digest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cusum.h"
+#include "core/pipeline.h"
+#include "recon/stream.h"
+
+namespace diurnal::core {
+
+/// An early-warning change alarm surfaced by the incremental drive.
+struct ProvisionalChange {
+  net::BlockId id{};
+  util::SimTime start = 0;  ///< where the accumulator left zero
+  util::SimTime alarm = 0;  ///< threshold crossing
+  util::SimTime end = 0;    ///< excursion peak
+  analysis::ChangeDirection direction = analysis::ChangeDirection::kDown;
+  /// Excursion amplitude under the running normalization (z-units);
+  /// not comparable to DetectedChange::amplitude.
+  double amplitude = 0.0;
+};
+
+/// What one advance_to() call produced.
+struct EpochReport {
+  std::size_t epoch_index = 0;
+  util::SimTime epoch_start = 0;  ///< previous high-water mark
+  util::SimTime epoch_end = 0;    ///< new high-water mark (clamped)
+  /// Post-fault observations delivered across the fleet this epoch.
+  std::size_t observations = 0;
+  /// True once every block's classification verdict is final (the
+  /// classification window has been fully ingested).  The funnel below
+  /// is populated from that point on.
+  bool classification_complete = false;
+  FunnelCounts funnel{};
+  /// Alarms confirmed this epoch, ordered by (alarm time, block id).
+  std::vector<ProvisionalChange> provisional;
+};
+
+class StreamingFleet {
+ public:
+  /// Borrows `world` and `config` for the engine's lifetime.
+  StreamingFleet(const sim::World& world, const FleetConfig& config);
+
+  util::SimTime window_start() const noexcept { return window_.start; }
+  util::SimTime window_end() const noexcept { return window_.end; }
+
+  /// Batch drive: processes every block start-to-finish in parallel and
+  /// returns the result.  Use either this or the incremental drive on
+  /// one engine instance, not both.
+  FleetResult run_to_completion();
+
+  /// Incremental drive: ingests every round starting before `until`
+  /// (clamped to the detection window) across all blocks.  Monotone in
+  /// `until`; a no-op advance returns an empty report.
+  EpochReport advance_to(util::SimTime until);
+
+  /// Drains all remaining state and returns the authoritative result,
+  /// bit-identical to run_to_completion() regardless of how the window
+  /// was chopped into epochs.
+  FleetResult finalize();
+
+ private:
+  /// How the classification pass relates to the detection pass.
+  enum class Mode {
+    kSame,      ///< one window serves both (one pass, one recon)
+    kUnion,     ///< classification is a prefix: one pass, forked recon
+    kSeparate,  ///< unrelated windows: dedicated classification pass
+  };
+
+  /// Per-block incremental state (lazily built by the first advance).
+  struct Cell {
+    recon::BlockStream stream;
+    bool begun = false;
+    bool active = false;      ///< still ingesting rounds
+    bool classified = false;  ///< authoritative verdict recorded
+    bool screened = false;    ///< provisional watch decision made
+    bool watched = false;     ///< provisional detector runs on this block
+    std::size_t delivered = 0;  ///< high-water mark for epoch deltas
+    // Provisional detector state: trend values frozen as first
+    // estimated, z-normalized by running moments, scanned by an online
+    // CUSUM over the concatenated z sequence.
+    std::size_t trend_fed = 0;   ///< recon samples already folded in
+    std::size_t trend_base = 0;  ///< recon index of the first z pushed
+    double tsum = 0.0, tsum2 = 0.0;
+    std::size_t tn = 0;
+    analysis::OnlineCusum cusum;
+    std::size_t reported = 0;  ///< confirmed changes already surfaced
+  };
+
+  void classify_outcome(std::size_t i, const recon::DegradedReconResult& dr);
+  void detect_outcome(std::size_t i, const recon::ReconResult& recon);
+  void begin_cell(std::size_t i, probe::ProbeScratch& scratch);
+  void screen_cell(std::size_t i);
+  void update_provisional(std::size_t i,
+                          std::vector<ProvisionalChange>& out);
+  void finish_result();
+
+  const sim::World& world_;
+  const FleetConfig& config_;
+  Mode mode_ = Mode::kSame;
+  probe::ProbeWindow window_{};           ///< detection window
+  probe::ProbeWindow classify_window_{};  ///< classification window
+  recon::BlockObservationConfig classify_oc_{};
+  recon::BlockObservationConfig detect_oc_{};
+  double evidence_floor_ = 0.0;
+  unsigned threads_ = 1;
+
+  FleetResult result_;
+  bool finished_ = false;
+
+  // Incremental drive state.
+  std::vector<Cell> cells_;
+  util::SimTime clock_ = 0;
+  std::size_t epoch_index_ = 0;
+};
+
+}  // namespace diurnal::core

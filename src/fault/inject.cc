@@ -73,36 +73,52 @@ bool burst_active(std::uint64_t seed, std::size_t spec_index,
   return into >= offset && into < offset + duration;
 }
 
+SkewResolution resolve_skew(const FaultPlan& plan, char observer) {
+  SkewResolution r;
+  for (const auto& s : plan.skews) {
+    if (s.observer != kAllObservers && s.observer != observer) continue;
+    r.skew_seconds += s.skew_seconds;
+    r.drift_ppm += s.drift_ppm;
+  }
+  return r;
+}
+
 StreamFaultStats apply_faults(const FaultPlan& plan, char observer,
                               probe::ProbeWindow window,
                               probe::ObservationVec& stream) {
-  StreamFaultStats st;
-  st.input = stream.size();
-  if (plan.empty() || stream.empty()) return st;
+  FaultCarry carry;
+  return apply_faults_chunk(plan, observer, window, stream, 0, carry);
+}
 
-  // Resolve per-observer state once per stream.
+StreamFaultStats apply_faults_chunk(const FaultPlan& plan, char observer,
+                                    probe::ProbeWindow window,
+                                    probe::ObservationVec& stream,
+                                    std::size_t from, FaultCarry& carry) {
+  StreamFaultStats st;
+  st.input = stream.size() - from;
+  if (plan.empty() || st.input == 0) return st;
+
+  // Resolve per-observer state once per chunk.
   bool any_outage = false;
   for (const auto& o : plan.outages) {
     any_outage |= o.observer == kAllObservers || o.observer == observer;
   }
-  std::int64_t skew = 0;
-  double drift_ppm = 0.0;
-  for (const auto& s : plan.skews) {
-    if (s.observer != kAllObservers && s.observer != observer) continue;
-    skew += s.skew_seconds;
-    drift_ppm += s.drift_ppm;
-  }
-  const bool retime = skew != 0 || drift_ppm != 0.0;
+  const SkewResolution skew_res = resolve_skew(plan, observer);
+  const std::int64_t skew = skew_res.skew_seconds;
+  const double drift_ppm = skew_res.drift_ppm;
+  const bool retime = skew_res.retimes();
   double trunc_prob = 0.0;
 
   const std::int64_t span = window.end - window.start;
   const auto obs_salt = static_cast<std::uint64_t>(observer);
 
-  probe::Observation* w = stream.data();
-  std::int64_t trunc_round = -1;
-  bool trunc_fired = false;
-  bool trunc_kept_first = false;
-  for (const probe::Observation& obs : stream) {
+  probe::Observation* w = stream.data() + from;
+  std::int64_t trunc_round = carry.trunc_round;
+  bool trunc_fired = carry.trunc_fired;
+  bool trunc_kept_first = carry.trunc_kept_first;
+  for (auto it = stream.begin() + static_cast<std::ptrdiff_t>(from);
+       it != stream.end(); ++it) {
+    const probe::Observation& obs = *it;
     const SimTime t = window.start + static_cast<SimTime>(obs.rel_time);
 
     if (any_outage && observer_dark_at(plan, observer, t)) {
@@ -165,6 +181,9 @@ StreamFaultStats apply_faults(const FaultPlan& plan, char observer,
     *w++ = out;
   }
   stream.resize(static_cast<std::size_t>(w - stream.data()));
+  carry.trunc_round = trunc_round;
+  carry.trunc_fired = trunc_fired;
+  carry.trunc_kept_first = trunc_kept_first;
   return st;
 }
 

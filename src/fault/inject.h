@@ -36,6 +36,38 @@ bool observer_dark_at(const FaultPlan& plan, char observer, util::SimTime t);
 bool burst_active(std::uint64_t seed, std::size_t spec_index,
                   const BurstLossSpec& spec, util::SimTime t);
 
+/// Sum of the plan's clock skew/drift specs matching one observer.
+/// Retiming is monotone (for any sane drift), so the transform of a
+/// lower time bound is a lower bound on transformed times — the
+/// streaming merge uses this to compute per-stream watermarks.
+struct SkewResolution {
+  std::int64_t skew_seconds = 0;
+  double drift_ppm = 0.0;
+
+  bool retimes() const noexcept {
+    return skew_seconds != 0 || drift_ppm != 0.0;
+  }
+  /// The retimed relative timestamp (may fall outside the window; the
+  /// injector drops those).
+  std::int64_t transform(std::int64_t rel) const noexcept {
+    return rel + skew_seconds +
+           static_cast<std::int64_t>(drift_ppm * 1e-6 *
+                                     static_cast<double>(rel));
+  }
+};
+SkewResolution resolve_skew(const FaultPlan& plan, char observer);
+
+/// Cross-chunk injection state: truncation drops the tail of a round,
+/// so a round split across two chunks must remember whether it fired
+/// and whether its first observation was already kept.  Everything else
+/// the injector does is a stateless function of (plan seed, observer,
+/// time) and needs no carry.
+struct FaultCarry {
+  std::int64_t trunc_round = -1;
+  bool trunc_fired = false;
+  bool trunc_kept_first = false;
+};
+
 /// Applies the plan to one observer's time-ordered stream in place.
 /// A plan with no spec matching `observer` is a no-op; the stream stays
 /// time-ordered (skew/drift is a monotone transform and survivors keep
@@ -43,5 +75,16 @@ bool burst_active(std::uint64_t seed, std::size_t spec_index,
 StreamFaultStats apply_faults(const FaultPlan& plan, char observer,
                               probe::ProbeWindow window,
                               probe::ObservationVec& stream);
+
+/// Chunked variant for the streaming pipeline: processes only
+/// stream[from..) in place (survivors compacted into that tail),
+/// carrying truncation state across calls.  Feeding one full stream
+/// through successive chunks at any round-aligned-or-not boundaries
+/// yields the same survivors as one apply_faults pass; per-chunk stats
+/// are additive.
+StreamFaultStats apply_faults_chunk(const FaultPlan& plan, char observer,
+                                    probe::ProbeWindow window,
+                                    probe::ObservationVec& stream,
+                                    std::size_t from, FaultCarry& carry);
 
 }  // namespace diurnal::fault

@@ -102,42 +102,47 @@ ProbeScratch& ProbeScratch::local() {
   return scratch;
 }
 
-void probe_block_into(const sim::BlockProfile& block,
-                      const ObserverSpec& observer, const LossModel& loss,
-                      ProbeWindow window, const ProberConfig& config,
-                      ProbeScratch& scratch, ObservationVec& out) {
-  out.clear();
+void round_prober_begin(const sim::BlockProfile& block,
+                        const ObserverSpec& observer, ProbeWindow window,
+                        const ProberConfig& config, RoundProberState& state) {
+  state = RoundProberState{};
   const int eb = block.eb_count;
-  if (eb <= 0 || window.end <= window.start) return;
-
-  // Pre-size: survey probes all addresses every round; trinocular
-  // averages a handful.
-  const auto rounds = static_cast<std::size_t>(
-      (window.end - window.start) / util::kRoundSeconds + 1);
-  switch (config.kind) {
-    case ProberKind::kSurvey:
-      out.reserve(rounds * static_cast<std::size_t>(eb));
-      break;
-    case ProberKind::kAdditional:
-      out.reserve(rounds * static_cast<std::size_t>(
-                               additional_probes_per_round(eb)));
-      break;
-    case ProberKind::kTrinocular:
-      out.reserve(rounds * 3);
-      break;
+  if (eb <= 0 || window.end <= window.start) {
+    state.done = true;
+    return;
   }
-
-  std::vector<std::uint8_t>& order = scratch.order;
-  int quarter = quarter_index(window.start);
-  build_order(block, config.order_seed, quarter, scratch);
-  SimTime quarter_end = next_quarter_start(window.start);
-
+  state.next_round = window.start + observer.phase;
+  if (state.next_round >= window.end) {
+    state.done = true;
+    return;
+  }
   // Each observer starts independently: its cursor begins at a
   // deterministic offset in the shared order.
-  std::size_t cursor =
+  state.cursor =
       util::derive_seed(config.order_seed, block.id.id(),
                         static_cast<std::uint64_t>(observer.code)) %
       static_cast<std::size_t>(eb);
+}
+
+void round_prober_resume(const sim::BlockProfile& block,
+                         const ObserverSpec& observer, const LossModel& loss,
+                         ProbeWindow window, const ProberConfig& config,
+                         ProbeScratch& scratch, RoundProberState& state,
+                         util::SimTime until, ObservationVec& out) {
+  if (state.done) return;
+  const int eb = block.eb_count;
+  const SimTime limit = std::min(until, window.end);
+  if (state.next_round >= limit) {
+    if (until >= window.end) state.done = true;
+    return;
+  }
+
+  std::vector<std::uint8_t>& order = scratch.order;
+  int quarter = quarter_index(state.next_round);
+  build_order(block, config.order_seed, quarter, scratch);
+  SimTime quarter_end = next_quarter_start(state.next_round);
+
+  std::size_t cursor = state.cursor;
 
   // Everything that is constant over the window is hoisted out of the
   // round loop: the observer salt and fault stream, whether this path is
@@ -260,12 +265,7 @@ void probe_block_into(const sim::BlockProfile& block,
     // what makes full scans of large blocks take hours (the 256-round
     // worst case of section 3.1).
     const int confirm_budget = std::min(eb, config.max_probes_per_round);
-    int rounds_since_positive = 0;
-    const SimTime first = window.start + observer.phase;
-    if (first >= window.end) {
-      out.clear();
-      return;
-    }
+    int rounds_since_positive = state.rounds_since_positive;
     // The output size is adaptive, but bounded by confirm_budget probes
     // per round, so sizing the buffer to the exact worst case up front
     // removes every capacity check from the round loop (a push_back per
@@ -274,18 +274,19 @@ void probe_block_into(const sim::BlockProfile& block,
     // 16 observations of 8 bytes per 11-minute round — and the storage
     // is scratch reused across the fleet.  The true size is set once at
     // the end.
+    const std::size_t old_size = out.size();
     const auto n_rounds = static_cast<std::size_t>(
-        (window.end - 1 - first) / util::kRoundSeconds + 1);
-    out.resize(n_rounds * static_cast<std::size_t>(confirm_budget));
-    Observation* const base = out.data();
+        (limit - 1 - state.next_round) / util::kRoundSeconds + 1);
+    out.resize(old_size + n_rounds * static_cast<std::size_t>(confirm_budget));
+    Observation* const base = out.data() + old_size;
     Observation* w = base;
     // The probe order is fixed within a calendar quarter, so the round
     // loop runs in per-quarter chunks with the re-shuffle check hoisted
     // to the chunk boundary instead of tested every round.
-    SimTime t = first;
-    while (t < window.end) {
+    SimTime t = state.next_round;
+    while (t < limit) {
       quarter_tick(t);
-      const SimTime chunk_end = std::min(window.end, quarter_end);
+      const SimTime chunk_end = std::min(limit, quarter_end);
       while (t < chunk_end) {
         if (rounds_since_positive == 0 && eb >= 2) [[likely]] {
           // Confidently-up rounds (budget 2), the steady state for most
@@ -479,7 +480,9 @@ void probe_block_into(const sim::BlockProfile& block,
         t += util::kRoundSeconds;
       }
     }
-    out.resize(static_cast<std::size_t>(w - base));
+    out.resize(old_size + static_cast<std::size_t>(w - base));
+    state.rounds_since_positive = rounds_since_positive;
+    state.next_round = t;
   } else {
     // Survey and additional-observations probers: fixed budget, never
     // stopping on a positive reply.  Every round fires exactly
@@ -490,13 +493,13 @@ void probe_block_into(const sim::BlockProfile& block,
     if (config.kind == ProberKind::kAdditional) {
       fixed_budget = std::min(eb, additional_probes_per_round(eb));
     }
-    const SimTime first = window.start + observer.phase;
-    if (first >= window.end) return;
+    const std::size_t old_size = out.size();
     const auto n_rounds = static_cast<std::size_t>(
-        (window.end - 1 - first) / util::kRoundSeconds + 1);
-    out.resize(n_rounds * static_cast<std::size_t>(fixed_budget));
-    Observation* w = out.data();
-    for (SimTime t = first; t < window.end; t += util::kRoundSeconds) {
+        (limit - 1 - state.next_round) / util::kRoundSeconds + 1);
+    out.resize(old_size + n_rounds * static_cast<std::size_t>(fixed_budget));
+    Observation* w = out.data() + old_size;
+    SimTime t = state.next_round;
+    for (; t < limit; t += util::kRoundSeconds) {
       quarter_tick(t);
       for (int j = 0; j < fixed_budget; ++j) {
         const std::uint8_t addr = ord[cursor + static_cast<std::size_t>(j)];
@@ -507,7 +510,21 @@ void probe_block_into(const sim::BlockProfile& block,
       cursor += static_cast<std::size_t>(fixed_budget);
       if (cursor >= n_targets) cursor -= n_targets;
     }
+    state.next_round = t;
   }
+  state.cursor = cursor;
+  if (until >= window.end) state.done = true;
+}
+
+void probe_block_into(const sim::BlockProfile& block,
+                      const ObserverSpec& observer, const LossModel& loss,
+                      ProbeWindow window, const ProberConfig& config,
+                      ProbeScratch& scratch, ObservationVec& out) {
+  out.clear();
+  RoundProberState state;
+  round_prober_begin(block, observer, window, config, state);
+  round_prober_resume(block, observer, loss, window, config, scratch, state,
+                      window.end, out);
 }
 
 ObservationVec probe_block(const sim::BlockProfile& block,

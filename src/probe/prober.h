@@ -101,9 +101,44 @@ struct ProbeScratch {
   static ProbeScratch& local();
 };
 
+/// Cross-round prober state: everything one observer carries from round
+/// to round.  Probing is causal — each round's probes are a pure
+/// function of (round time, cursor, belief) — so a window can be probed
+/// in arbitrary round-aligned slices and yield the byte-identical
+/// observation sequence a single full-window pass produces.  This is the
+/// round-iterator API under the streaming fleet engine: batch probing is
+/// begin() plus one resume() to the window end.
+struct RoundProberState {
+  util::SimTime next_round = 0;  ///< start time of the next unprobed round
+  std::size_t cursor = 0;        ///< position in the shared probe order
+  int rounds_since_positive = 0; ///< trinocular belief state
+  bool done = false;             ///< no rounds remain in the window
+};
+
+/// Initializes `state` for probing `block` from `observer` over
+/// `window` (deterministic initial cursor, first round at the
+/// observer's phase offset).  Marks the state done when the block has
+/// no targets or no round starts inside the window.
+void round_prober_begin(const sim::BlockProfile& block,
+                        const ObserverSpec& observer, ProbeWindow window,
+                        const ProberConfig& config, RoundProberState& state);
+
+/// Probes every round starting before min(until, window.end), appending
+/// the observations to `out` in time order and advancing `state`.  A
+/// round started before the bound emits all of its probes, even ones
+/// paced past the bound (exactly as a full-window pass would).  Calling
+/// with until >= window.end exhausts the window and marks the state
+/// done.
+void round_prober_resume(const sim::BlockProfile& block,
+                         const ObserverSpec& observer, const LossModel& loss,
+                         ProbeWindow window, const ProberConfig& config,
+                         ProbeScratch& scratch, RoundProberState& state,
+                         util::SimTime until, ObservationVec& out);
+
 /// Probes one block from one observer over a window, appending nothing
 /// and replacing `out` with the time-ordered observations (empty for
 /// blocks with no targets).  `scratch` supplies reused buffers.
+/// Implemented as round_prober_begin + one full-window resume.
 void probe_block_into(const sim::BlockProfile& block,
                       const ObserverSpec& observer, const LossModel& loss,
                       ProbeWindow window, const ProberConfig& config,

@@ -2,6 +2,7 @@
 
 #include "fault/inject.h"
 #include "recon/repair.h"
+#include "recon/stream.h"
 
 namespace diurnal::recon {
 
@@ -69,13 +70,17 @@ std::vector<probe::ObservationVec> collect_streams(
 
 }  // namespace
 
+// The batch entry points run the streaming pipeline start-to-finish:
+// there is one pipeline implementation, and a whole-window pass is just
+// a stream that ingests everything before finalizing.
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
                                     const BlockObservationConfig& config,
                                     probe::ProbeScratch& scratch) {
-  collect_streams_into(block, config, scratch, nullptr);
-  probe::merge_observations_into(scratch.streams, scratch.merged);
-  return reconstruct(scratch.merged, block.eb_count, config.window,
-                     config.recon);
+  thread_local BlockStream stream;
+  thread_local DegradedReconResult result;
+  stream.begin(block, config, scratch);
+  stream.finalize(result);
+  return std::move(result.recon);
 }
 
 ReconResult observe_and_reconstruct(const sim::BlockProfile& block,
@@ -87,10 +92,9 @@ void observe_and_reconstruct_degraded(const sim::BlockProfile& block,
                                       const BlockObservationConfig& config,
                                       probe::ProbeScratch& scratch,
                                       DegradedReconResult& out) {
-  collect_streams_into(block, config, scratch, &out.observers);
-  probe::merge_observations_into(scratch.streams, scratch.merged);
-  out.recon = reconstruct(scratch.merged, block.eb_count, config.window,
-                          config.recon);
+  thread_local BlockStream stream;
+  stream.begin(block, config, scratch);
+  stream.finalize(out);
 }
 
 MultiReconResult observe_and_reconstruct_detailed(

@@ -16,108 +16,90 @@ double ReconResult::fbs_quantile_seconds(double q) const {
   return analysis::quantile(fbs_spans_seconds, q);
 }
 
-ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
-                        probe::ProbeWindow window, const ReconOptions& opt) {
-  ReconResult res;
-  res.eb_count = eb_count;
-  const std::int64_t duration = window.end - window.start;
-  if (duration <= 0 || eb_count <= 0) {
-    res.counts = util::TimeSeries(window.start, std::max<std::int64_t>(opt.sample_step, 1), {});
-    return res;
-  }
-
-  const std::size_t n_samples =
-      static_cast<std::size_t>((duration + opt.sample_step - 1) / opt.sample_step);
-  std::vector<double> samples(n_samples, 0.0);
-
+void BlockReconState::begin(int eb_count, probe::ProbeWindow window,
+                            const ReconOptions& opt) {
+  opt_ = opt;
+  window_ = window;
+  eb_count_ = eb_count;
+  duration_ = window.end - window.start;
+  degenerate_ = duration_ <= 0 || eb_count <= 0;
+  n_samples_ =
+      degenerate_ ? 0
+                  : static_cast<std::size_t>(
+                        (duration_ + opt.sample_step - 1) / opt.sample_step);
+  samples_.assign(n_samples_, 0.0);
   // Per-address state: -1 unknown, 0 down, 1 up.
-  std::array<std::int8_t, 256> state{};
-  std::array<std::int64_t, 256> last_seen{};
-  state.fill(-1);
-  last_seen.fill(-1);
-
-  int active = 0;
-  int observed = 0;
-  std::size_t positives = 0;
-  std::size_t next_sample = 0;
-
+  state_.fill(-1);
+  last_seen_.fill(-1);
+  active_ = 0;
+  observed_ = 0;
+  positives_ = 0;
+  next_sample_ = 0;
   // Effective-coverage tracking: a sample is fresh when some observation
   // (reply or not — coverage is about measurement, not activity) landed
   // within the trailing stale_horizon; observation-free spans longer
   // than the horizon are recorded as gaps.
-  std::int64_t last_obs_rel = std::numeric_limits<std::int64_t>::min() / 2;
-  std::size_t fresh_samples = 0;
-  auto note_gap = [&](std::int64_t up_to) {
-    const std::int64_t from = std::max<std::int64_t>(last_obs_rel, 0);
-    if (up_to - from > opt.stale_horizon) {
-      res.gaps.push_back(
-          CoverageGap{window.start + from, window.start + up_to});
-    }
-    res.max_gap_seconds =
-        std::max(res.max_gap_seconds, static_cast<double>(up_to - from));
-  };
+  last_obs_rel_ = std::numeric_limits<std::int64_t>::min() / 2;
+  fresh_samples_ = 0;
+  max_active_ = 0.0;
+  max_gap_seconds_ = 0.0;
+  gaps_.clear();
+  // Full-cover tracking: pass_epoch_[a] is the cover pass that last
+  // touched address a; when a pass has touched all of E(b), its
+  // duration is one full-block-scan span and the next pass begins.
+  pass_epoch_.fill(0);
+  pass_ = 1;
+  pass_seen_ = 0;
+  pass_start_ = 0;
+  fbs_spans_.clear();
+  observations_ = 0;
+}
 
-  // Full-cover tracking: pass_epoch[a] is the cover pass that last
-  // touched address a; when a pass has touched all of E(b), its duration
-  // is one full-block-scan span and the next pass begins.
-  std::array<std::uint32_t, 256> pass_epoch{};
-  std::uint32_t pass = 1;
-  int pass_seen = 0;
-  std::int64_t pass_start = 0;
-
-  auto emit_until = [&](std::int64_t rel_time) {
-    while (next_sample < n_samples &&
-           static_cast<std::int64_t>(next_sample) * opt.sample_step <= rel_time) {
-      samples[next_sample] = static_cast<double>(active);
-      res.max_active = std::max(res.max_active, samples[next_sample]);
-      if (static_cast<std::int64_t>(next_sample) * opt.sample_step -
-              last_obs_rel <=
-          opt.stale_horizon) {
-        ++fresh_samples;
-      }
-      ++next_sample;
-    }
-  };
-
-  for (const auto& obs : merged) {
-    const auto rel = static_cast<std::int64_t>(obs.rel_time);
-    emit_until(rel - 1);
-    note_gap(rel);
-    last_obs_rel = rel;
-    const std::size_t a = obs.addr;
-    if (a >= static_cast<std::size_t>(eb_count)) continue;
-    if (state[a] == -1) ++observed;
-    const std::int8_t now = obs.up ? 1 : 0;
-    if (state[a] == 1 && now == 0) --active;
-    if (state[a] != 1 && now == 1) ++active;
-    state[a] = now;
-    last_seen[a] = rel;
-    if (obs.up) ++positives;
-    if (pass_epoch[a] != pass) {
-      pass_epoch[a] = pass;
-      if (++pass_seen == eb_count) {
-        res.fbs_spans_seconds.push_back(static_cast<double>(rel - pass_start));
-        ++pass;
-        pass_seen = 0;
-        pass_start = rel;
-      }
-    }
+void BlockReconState::finalize(ReconResult& out) {
+  out = ReconResult{};
+  out.eb_count = eb_count_;
+  if (degenerate_) {
+    out.counts = util::TimeSeries(
+        window_.start, std::max<std::int64_t>(opt_.sample_step, 1), {});
+    return;
   }
-  emit_until(duration);
-  note_gap(duration);
-  res.evidence_fraction =
-      n_samples == 0 ? 0.0
-                     : static_cast<double>(fresh_samples) /
-                           static_cast<double>(n_samples);
+  emit_until(duration_);
+  note_gap(duration_);
+  out.evidence_fraction =
+      n_samples_ == 0 ? 0.0
+                      : static_cast<double>(fresh_samples_) /
+                            static_cast<double>(n_samples_);
+  out.observations = observations_;
+  out.observed_targets = observed_;
+  out.responsive = positives_ > 0;
+  out.mean_reply_rate =
+      observations_ == 0 ? 0.0
+                         : static_cast<double>(positives_) /
+                               static_cast<double>(observations_);
+  out.max_active = max_active_;
+  out.max_gap_seconds = max_gap_seconds_;
+  out.gaps = std::move(gaps_);
+  out.fbs_spans_seconds = std::move(fbs_spans_);
+  out.counts =
+      util::TimeSeries(window_.start, opt_.sample_step, std::move(samples_));
+}
 
-  res.observations = merged.size();
-  res.observed_targets = observed;
-  res.responsive = positives > 0;
-  res.mean_reply_rate =
-      merged.empty() ? 0.0
-                     : static_cast<double>(positives) /
-                           static_cast<double>(merged.size());
-  res.counts = util::TimeSeries(window.start, opt.sample_step, std::move(samples));
+void BlockReconState::snapshot(ReconResult& out) const {
+  BlockReconState copy = *this;
+  copy.n_samples_ = copy.next_sample_;
+  copy.duration_ = static_cast<std::int64_t>(copy.next_sample_) *
+                   copy.opt_.sample_step;
+  copy.samples_.resize(copy.n_samples_);
+  copy.finalize(out);
+}
+
+ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
+                        probe::ProbeWindow window, const ReconOptions& opt) {
+  BlockReconState state;
+  state.begin(eb_count, window, opt);
+  for (const auto& obs : merged) state.push(obs);
+  ReconResult res;
+  state.finalize(res);
   return res;
 }
 

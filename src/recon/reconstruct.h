@@ -7,7 +7,10 @@
 // statistics used by the loss study in section 3.3.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "probe/prober.h"
@@ -63,8 +66,120 @@ struct ReconResult {
   double fbs_quantile_seconds(double q) const;
 };
 
+/// Resumable reconstruction state machine: the whole-window
+/// reconstruct() loop carved into begin / push / finalize so the
+/// streaming pipeline can feed merged observations as they clear the
+/// repair lookahead and still finalize to the byte-identical
+/// ReconResult.  Sample emission is an idempotent prefix — a sample is
+/// written the moment the stream passes it, never revised — so the
+/// emitted prefix of samples() is stable regardless of how the pushes
+/// were chunked.  Copyable by design (value members only).
+class BlockReconState {
+ public:
+  /// Re-initializes for one block, reusing the sample buffer.
+  void begin(int eb_count, probe::ProbeWindow window,
+             const ReconOptions& opt = {});
+
+  /// Feeds the next merged observation (rel_time non-decreasing).
+  /// Observations pacing past the window end are tolerated, exactly as
+  /// in the batch pass.
+  void push(const probe::Observation& obs) {
+    if (degenerate_) return;
+    const auto rel = static_cast<std::int64_t>(obs.rel_time);
+    emit_until(rel - 1);
+    note_gap(rel);
+    last_obs_rel_ = rel;
+    ++observations_;
+    const std::size_t a = obs.addr;
+    if (a >= static_cast<std::size_t>(eb_count_)) return;
+    if (state_[a] == -1) ++observed_;
+    const std::int8_t now = obs.up ? 1 : 0;
+    if (state_[a] == 1 && now == 0) --active_;
+    if (state_[a] != 1 && now == 1) ++active_;
+    state_[a] = now;
+    last_seen_[a] = rel;
+    if (obs.up) ++positives_;
+    if (pass_epoch_[a] != pass_) {
+      pass_epoch_[a] = pass_;
+      if (++pass_seen_ == eb_count_) {
+        fbs_spans_.push_back(static_cast<double>(rel - pass_start_));
+        ++pass_;
+        pass_seen_ = 0;
+        pass_start_ = rel;
+      }
+    }
+  }
+
+  /// Emits the trailing samples and gap, and moves the result out.
+  /// The state is spent afterwards; call begin() to reuse it.
+  void finalize(ReconResult& out);
+
+  /// Finalizes a copy truncated to the emitted-sample prefix: the
+  /// result's series ends at the last emitted sample and the evidence
+  /// denominator matches, so mid-stream consumers (the streaming
+  /// engine's provisional screens) see honest statistics instead of a
+  /// flat extrapolation to the window end.  The state itself is
+  /// untouched.
+  void snapshot(ReconResult& out) const;
+
+  /// Number of samples emitted so far (the stable prefix of samples()).
+  std::size_t emitted() const noexcept { return next_sample_; }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+  std::size_t observations() const noexcept { return observations_; }
+
+ private:
+  void emit_until(std::int64_t rel_time) {
+    while (next_sample_ < n_samples_ &&
+           static_cast<std::int64_t>(next_sample_) * opt_.sample_step <=
+               rel_time) {
+      samples_[next_sample_] = static_cast<double>(active_);
+      max_active_ = std::max(max_active_, samples_[next_sample_]);
+      if (static_cast<std::int64_t>(next_sample_) * opt_.sample_step -
+              last_obs_rel_ <=
+          opt_.stale_horizon) {
+        ++fresh_samples_;
+      }
+      ++next_sample_;
+    }
+  }
+  void note_gap(std::int64_t up_to) {
+    const std::int64_t from = std::max<std::int64_t>(last_obs_rel_, 0);
+    if (up_to - from > opt_.stale_horizon) {
+      gaps_.push_back(
+          CoverageGap{window_.start + from, window_.start + up_to});
+    }
+    max_gap_seconds_ =
+        std::max(max_gap_seconds_, static_cast<double>(up_to - from));
+  }
+
+  ReconOptions opt_{};
+  probe::ProbeWindow window_{};
+  int eb_count_ = 0;
+  bool degenerate_ = true;
+  std::int64_t duration_ = 0;
+  std::size_t n_samples_ = 0;
+  std::vector<double> samples_;
+  std::array<std::int8_t, 256> state_{};
+  std::array<std::int64_t, 256> last_seen_{};
+  int active_ = 0;
+  int observed_ = 0;
+  std::size_t positives_ = 0;
+  std::size_t next_sample_ = 0;
+  std::int64_t last_obs_rel_ = std::numeric_limits<std::int64_t>::min() / 2;
+  std::size_t fresh_samples_ = 0;
+  double max_active_ = 0.0;
+  double max_gap_seconds_ = 0.0;
+  std::vector<CoverageGap> gaps_;
+  std::array<std::uint32_t, 256> pass_epoch_{};
+  std::uint32_t pass_ = 1;
+  int pass_seen_ = 0;
+  std::int64_t pass_start_ = 0;
+  std::vector<double> fbs_spans_;
+  std::size_t observations_ = 0;
+};
+
 /// Reconstructs a block's activity from a merged, time-ordered
-/// observation stream.
+/// observation stream.  One full pass of the BlockReconState machine.
 ReconResult reconstruct(const probe::ObservationVec& merged, int eb_count,
                         probe::ProbeWindow window, const ReconOptions& opt = {});
 

@@ -29,4 +29,48 @@ RepairStats one_loss_repair(probe::ObservationVec& stream) {
   return stats;
 }
 
+void StreamRepair::reset() {
+  addr_.fill(AddrState{});
+  processed_ = 0;
+  stats_ = RepairStats{};
+}
+
+std::size_t StreamRepair::ingest(probe::ObservationVec& stream,
+                                 std::size_t base) {
+  const std::size_t end = base + stream.size();
+  for (std::size_t i = processed_; i < end; ++i) {
+    const probe::Observation& obs = stream[i - base];
+    AddrState& st = addr_[obs.addr];
+    // Same state machine as one_loss_repair, with the two trailing
+    // observations' values cached so released (possibly compacted)
+    // entries are never reloaded: flip 101 -> 111 when the rescan
+    // arrives positive.
+    if (obs.up && st.last != kNone && st.has_prev && !st.last_up &&
+        st.prev_up) {
+      stream[st.last - base].up = true;
+      st.last_up = true;
+      ++stats_.repaired;
+    }
+    st.prev_up = st.last_up;
+    st.has_prev = st.last != kNone;
+    st.last_up = obs.up;
+    st.last = i;
+  }
+  stats_.observations += end - processed_;
+  processed_ = end;
+
+  // Everything below the earliest still-mutable observation is final.
+  // A held observation is the latest for its address, a non-reply, and
+  // has a positive predecessor — the exact flip target a future rescan
+  // could rewrite.
+  std::size_t frontier = processed_;
+  for (const AddrState& st : addr_) {
+    if (st.last != kNone && !st.last_up && st.has_prev && st.prev_up &&
+        st.last < frontier) {
+      frontier = st.last;
+    }
+  }
+  return frontier;
+}
+
 }  // namespace diurnal::recon

@@ -10,6 +10,9 @@
 // 110 are left alone.  Repair runs per observer, before merging.
 #pragma once
 
+#include <array>
+#include <cstddef>
+
 #include "probe/prober.h"
 
 namespace diurnal::recon {
@@ -29,5 +32,51 @@ struct RepairStats {
 /// Applies 1-loss repair in place to a single observer's time-ordered
 /// observation stream.  Returns how many observations were rewritten.
 RepairStats one_loss_repair(probe::ObservationVec& stream);
+
+/// Incremental 1-loss repair over a growing stream (the streaming
+/// pipeline's hold-until-rescanned stage).  Repair is not causal: a
+/// non-reply with a positive predecessor stays mutable until the next
+/// observation of the same address arrives, so such observations are
+/// held back and everything behind the earliest held one is released.
+/// Feeding a full stream through ingest() in any chunking and then
+/// finish() leaves the stream byte-identical to one one_loss_repair
+/// pass.
+///
+/// Indices are absolute stream positions (monotone over the stream's
+/// lifetime); the caller passes `base`, the absolute index of
+/// stream[0], so it may compact released-and-consumed prefixes away
+/// between calls.  Only observations at or above the returned frontier
+/// may still be rewritten, so compacting below it is always safe.
+class StreamRepair {
+ public:
+  StreamRepair() { reset(); }
+
+  void reset();
+
+  /// Processes every observation appended since the last call
+  /// (absolute positions [processed, base + stream.size())), applying
+  /// repairs in place.  Returns the release frontier: the absolute
+  /// index below which every observation has reached its final value.
+  std::size_t ingest(probe::ObservationVec& stream, std::size_t base);
+
+  /// End-of-stream: observations still held (their rescan never came)
+  /// keep their probed value, exactly as the batch pass leaves them.
+  /// Returns the frontier, now equal to the stream length.
+  std::size_t finish() noexcept { return processed_; }
+
+  const RepairStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  struct AddrState {
+    std::size_t last = kNone;  ///< absolute index of the latest observation
+    bool has_prev = false;
+    bool last_up = false;
+    bool prev_up = false;
+  };
+  std::array<AddrState, 256> addr_{};
+  std::size_t processed_ = 0;  ///< absolute index of the next unseen obs
+  RepairStats stats_{};
+};
 
 }  // namespace diurnal::recon

@@ -1,0 +1,68 @@
+// Fleet-digest determinism gate (tier-1): the full pipeline over the
+// reference world must land on one golden digest regardless of thread
+// count.  The digest hashes the funnel, every per-block verdict, and
+// every detected change, so any nondeterminism — racy accumulation,
+// thread-dependent draw, iteration-order dependence — or an unintended
+// behavior change in probe/repair/merge/reconstruct/classify/detect
+// shows up as a different hex string.  The golden value is shared with
+// the bench-smoke CI gate (bench/common.cc).
+#include <gtest/gtest.h>
+
+#include "core/digest.h"
+#include "core/pipeline.h"
+#include "fault/fault_plan.h"
+#include "sim/world.h"
+
+namespace diurnal {
+namespace {
+
+// The bench_fleet reference configuration (BENCH_fleet.json provenance).
+constexpr char kGoldenDigest[] = "f94c66488def6938";
+
+const sim::World& golden_world() {
+  static const sim::World world([] {
+    sim::WorldConfig c;
+    c.num_blocks = 2000;
+    c.seed = 1;
+    return c;
+  }());
+  return world;
+}
+
+core::FleetConfig golden_config(int threads) {
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020m1-ejnw");
+  fc.threads = threads;
+  return fc;
+}
+
+TEST(FleetDigest, GoldenDigestSingleThread) {
+  const auto result = core::run_fleet(golden_world(), golden_config(1));
+  EXPECT_EQ(core::digest_hex(core::fleet_digest(result)), kGoldenDigest);
+}
+
+TEST(FleetDigest, GoldenDigestEightThreads) {
+  const auto result = core::run_fleet(golden_world(), golden_config(8));
+  EXPECT_EQ(core::digest_hex(core::fleet_digest(result)), kGoldenDigest);
+}
+
+TEST(FleetDigest, FaultPlanRunIsThreadCountInvariant) {
+  // A seeded fault plan must not reintroduce thread-count dependence:
+  // injection is a pure function of (plan seed, observer, time), so the
+  // degraded fleet hashes identically at 1 and 8 workers.
+  auto fc1 = golden_config(1);
+  fc1.faults = fault::scenario("dropout", fc1.dataset.window());
+  const auto d1 = core::fleet_digest(core::run_fleet(golden_world(), fc1));
+
+  auto fc8 = golden_config(8);
+  fc8.faults = fault::scenario("dropout", fc8.dataset.window());
+  const auto d8 = core::fleet_digest(core::run_fleet(golden_world(), fc8));
+
+  EXPECT_EQ(core::digest_hex(d1), core::digest_hex(d8));
+  // And the degraded run must differ from the healthy golden run — the
+  // digest actually sees the fault layer's effects.
+  EXPECT_NE(core::digest_hex(d1), kGoldenDigest);
+}
+
+}  // namespace
+}  // namespace diurnal

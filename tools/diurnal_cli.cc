@@ -3,6 +3,7 @@
 //   diurnal_cli run      [--blocks N] [--seed S] [--dataset D]
 //                        [--classify D2] [--country CC] [--out PREFIX]
 //                        [--fault SCENARIO] [--discover] [--validate]
+//                        [--stream] [--epoch=DUR]
 //   diurnal_cli block    [--dataset D] [--id A.B.C.0/24 | --usc | --vpn]
 //                        [--fault SCENARIO]
 //   diurnal_cli datasets
@@ -15,6 +16,11 @@
 // (--validate).  `block` runs the single-block pipeline and prints the
 // Figure-1-style story for one /24.  `--fault` injects a named observer
 // fault scenario (see `faults`) and reports the degradation summary.
+// `--stream` drives the fleet incrementally, one epoch (--epoch=1d, 6h,
+// 660s, ...) at a time, printing per-epoch delivery counts and
+// provisional change alarms before the authoritative final result —
+// which is bit-identical to the batch run.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,9 +31,11 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/streaming.h"
 #include "fault/fault_plan.h"
 #include "geo/countries.h"
 #include "recon/block_recon.h"
+#include "util/date.h"
 
 using namespace diurnal;
 
@@ -47,7 +55,31 @@ struct Args {
   bool vpn = false;
   bool discover = false;
   bool validate = false;
+  bool stream = false;
+  std::int64_t epoch = util::kSecondsPerDay;
 };
+
+/// Parses "1d", "6h", "90m", "660s", or bare seconds.
+std::int64_t parse_duration(const std::string& s) {
+  char* end = nullptr;
+  const std::int64_t n = std::strtoll(s.c_str(), &end, 10);
+  std::int64_t scale = 1;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'd': scale = util::kSecondsPerDay; break;
+      case 'h': scale = 3600; break;
+      case 'm': scale = 60; break;
+      case 's': scale = 1; break;
+      default: scale = 0; break;
+    }
+  }
+  if (n <= 0 || scale == 0) {
+    std::fprintf(stderr, "bad duration '%s' (use e.g. 1d, 6h, 660s)\n",
+                 s.c_str());
+    std::exit(2);
+  }
+  return n * scale;
+}
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
@@ -55,6 +87,7 @@ struct Args {
                "                       [--classify D2] [--country CC]\n"
                "                       [--out PREFIX] [--fault SCENARIO]\n"
                "                       [--discover] [--validate]\n"
+               "                       [--stream] [--epoch=DUR]\n"
                "       diurnal_cli block [--dataset D] [--id A.B.C.0/24|--usc|--vpn]\n"
                "                       [--fault SCENARIO]\n"
                "       diurnal_cli datasets | sites | faults\n");
@@ -83,6 +116,10 @@ Args parse(int argc, char** argv) {
     else if (flag == "--vpn") a.vpn = true;
     else if (flag == "--discover") a.discover = true;
     else if (flag == "--validate") a.validate = true;
+    else if (flag == "--stream") a.stream = true;
+    else if (flag == "--epoch") a.epoch = parse_duration(value());
+    else if (flag.rfind("--epoch=", 0) == 0)
+      a.epoch = parse_duration(flag.substr(8));
     else usage();
   }
   return a;
@@ -101,7 +138,34 @@ int cmd_run(const Args& a) {
   if (a.fault_scenario) {
     fc.faults = fault::scenario(*a.fault_scenario, fc.dataset.window());
   }
-  const auto fleet = core::run_fleet(world, fc);
+  core::FleetResult fleet;
+  if (a.stream) {
+    core::StreamingFleet engine(world, fc);
+    for (util::SimTime t = engine.window_start() + a.epoch;; t += a.epoch) {
+      const auto bounded = std::min(t, engine.window_end());
+      const auto rep = engine.advance_to(bounded);
+      std::printf("epoch %3zu  %s  %9zu obs%s\n", rep.epoch_index,
+                  util::to_string(util::date_of(rep.epoch_end)).c_str(),
+                  rep.observations,
+                  rep.classification_complete ? "  [classification final]"
+                                              : "");
+      for (const auto& p : rep.provisional) {
+        std::printf("  ~ provisional %s %s alarm %s (z %+.1f)\n",
+                    p.direction == analysis::ChangeDirection::kDown ? "DOWN"
+                                                                    : "UP",
+                    p.id.to_string().c_str(),
+                    util::to_string(util::date_of(p.alarm)).c_str(),
+                    p.amplitude);
+      }
+      if (bounded == engine.window_end()) break;
+    }
+    fleet = engine.finalize();
+    const auto span = engine.window_end() - engine.window_start();
+    std::printf("finalized: authoritative result over %lld epochs\n\n",
+                static_cast<long long>((span + a.epoch - 1) / a.epoch));
+  } else {
+    fleet = core::run_fleet(world, fc);
+  }
   const auto& f = fleet.funnel;
   std::printf("funnel: routed %lld | responsive %lld | diurnal %lld | "
               "wide %lld | change-sensitive %lld\n",

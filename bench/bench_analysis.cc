@@ -1,0 +1,267 @@
+// BENCH analysis: per-stage throughput of the span-kernel analysis
+// layer (FFT diurnality, STL decomposition, CUSUM) over real fleet
+// series, plus the allocation story the refactor exists for: heap
+// allocations per block for the legacy vector/TimeSeries chain vs the
+// warm BlockAnalyzer chain.  The span chain must run with ZERO
+// steady-state allocations per block (the bench exits nonzero
+// otherwise), and the fleet digest is recorded so CI can cross-check
+// that the measured build still produces the golden result.
+//
+// Scale knobs: DIURNAL_BENCH_BLOCKS, DIURNAL_BENCH_SEED,
+// DIURNAL_BENCH_REPS, and DIURNAL_BENCH_JSON (default
+// BENCH_analysis.json).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "analysis/block_analyzer.h"
+#include "analysis/cusum.h"
+#include "analysis/diurnal_test.h"
+#include "analysis/stl.h"
+#include "analysis/swing.h"
+#include "common.h"
+#include "core/datasets.h"
+#include "core/pipeline.h"
+#include "sim/world.h"
+#include "util/timeseries.h"
+
+namespace {
+
+// Global allocation counter: every path into the heap bumps it.  The
+// counts are what the bench is about — the span chain's steady state
+// must not touch any of these.
+std::atomic<std::size_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n == 0 ? 1 : n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace diurnal;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Sink so the timed kernel calls cannot be dead-code-eliminated.
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+int main() {
+  bench::header("BENCH analysis",
+                "span-kernel stage throughput + allocations/block",
+                "legacy vector chain vs warm BlockAnalyzer; see DESIGN.md §7");
+  const auto wc = bench::scaled_world(2000, 1);
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020m1-ejnw");
+  fc.threads = 1;
+
+  // One fleet pass supplies both the digest cross-check and the series
+  // store the kernel stages below run over.
+  auto t0 = Clock::now();
+  const auto fleet = core::run_fleet(world, fc);
+  const double fleet_seconds = seconds_since(t0);
+  const std::uint64_t digest = bench::fleet_digest(fleet);
+  std::printf("fleet pass: %.2fs, digest %s\n", fleet_seconds,
+              bench::digest_hex(digest).c_str());
+
+  const std::int64_t step = fleet.series.step();
+  const double samples_per_day =
+      static_cast<double>(util::kSecondsPerDay) / static_cast<double>(step);
+  analysis::StlOptions stl_opt;
+  stl_opt.period = static_cast<int>(
+      core::DetectorOptions{}.period_seconds / step);
+
+  // Sample rows long enough for the full chain (>= 2 STL periods).
+  std::vector<std::size_t> rows;
+  std::size_t total_samples = 0;
+  for (std::size_t i = 0; i < fleet.series.rows() && rows.size() < 64; ++i) {
+    const auto s = fleet.series.series(i);
+    if (s.size() < 2 * static_cast<std::size_t>(stl_opt.period)) continue;
+    rows.push_back(i);
+    total_samples += s.size();
+  }
+  if (rows.empty()) {
+    std::printf("FAIL: no series rows long enough to bench\n");
+    return 1;
+  }
+  std::printf("sampled %zu blocks, %zu samples each pass\n", rows.size(),
+              total_samples / rows.size());
+
+  const int reps = std::max(1, bench::env_int("DIURNAL_BENCH_REPS", 3));
+  analysis::BlockAnalyzer az;
+
+  // Pre-z-scored trends for the CUSUM stage (setup, untimed).
+  std::vector<std::vector<double>> zrows;
+  zrows.reserve(rows.size());
+  for (const std::size_t i : rows) {
+    const auto dec = az.decompose_stl(fleet.series.series(i), stl_opt);
+    const auto z = az.zscore(dec.trend);
+    zrows.emplace_back(z.begin(), z.end());
+  }
+
+  // Min-of-reps per-stage throughput, every stage through the same warm
+  // analyzer the fleet workers use.
+  double fft_best = 0, stl_best = 0, cusum_best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t = Clock::now();
+    for (const std::size_t i : rows) {
+      const auto d = az.diurnal(fleet.series.series(i), samples_per_day);
+      g_sink = g_sink + d.power_ratio;
+    }
+    const double fft_s = seconds_since(t);
+
+    t = Clock::now();
+    for (const std::size_t i : rows) {
+      const auto dec = az.decompose_stl(fleet.series.series(i), stl_opt);
+      g_sink = g_sink + dec.trend[dec.trend.size() / 2];
+    }
+    const double stl_s = seconds_since(t);
+
+    t = Clock::now();
+    for (const auto& z : zrows) {
+      const auto cus = az.cusum(z);
+      g_sink = g_sink + static_cast<double>(cus.changes.size());
+    }
+    const double cusum_s = seconds_since(t);
+
+    if (rep == 0 || fft_s < fft_best) fft_best = fft_s;
+    if (rep == 0 || stl_s < stl_best) stl_best = stl_s;
+    if (rep == 0 || cusum_s < cusum_best) cusum_best = cusum_s;
+  }
+  const double n = static_cast<double>(total_samples);
+  std::printf("stage throughput (best of %d):\n", reps);
+  std::printf("  fft/diurnal %8.3fms  (%.2f Msamples/sec)\n", fft_best * 1e3,
+              n / fft_best * 1e-6);
+  std::printf("  stl         %8.3fms  (%.2f Msamples/sec)\n", stl_best * 1e3,
+              n / stl_best * 1e-6);
+  std::printf("  cusum       %8.3fms  (%.2f Msamples/sec)\n", cusum_best * 1e3,
+              n / cusum_best * 1e-6);
+
+  // ------------------------------------------------------------------
+  // Allocations per block: the legacy vector/TimeSeries chain vs one
+  // warm-analyzer pass over the same blocks.
+  // ------------------------------------------------------------------
+  const auto legacy_pass = [&] {
+    for (const std::size_t i : rows) {
+      const auto s = fleet.series.series(i);
+      // What the fleet did before the span layer: materialize a
+      // TimeSeries, then run each kernel through its owning wrapper.
+      util::TimeSeries ts(fleet.series.start(), step,
+                          std::vector<double>(s.begin(), s.end()));
+      const auto d = analysis::test_diurnal(ts);
+      const auto sw = analysis::classify_swing(ts);
+      auto dec = analysis::stl_decompose(s, stl_opt);
+      const auto z =
+          util::TimeSeries(ts.start(), step, std::move(dec.trend)).zscore();
+      const auto cus = analysis::cusum_detect(z.span());
+      g_sink = g_sink + d.power_ratio + sw.max_daily_swing +
+               static_cast<double>(cus.changes.size());
+    }
+  };
+  const auto span_pass = [&] {
+    for (const std::size_t i : rows) {
+      const auto s = fleet.series.series(i);
+      const auto d = az.diurnal(s, samples_per_day);
+      const auto sw = az.swing(s, fleet.series.start(), step);
+      const auto dec = az.decompose_stl(s, stl_opt);
+      const auto z = az.zscore(dec.trend);
+      const auto cus = az.cusum(z);
+      g_sink = g_sink + d.power_ratio + sw.max_daily_swing +
+               static_cast<double>(cus.changes.size());
+    }
+  };
+
+  legacy_pass();  // warm whatever the libc allocator caches
+  span_pass();    // warm the analyzer's workspace and machine buffers
+  const std::size_t misses_before = az.workspace().pool_misses();
+
+  std::size_t c0 = g_allocs.load();
+  legacy_pass();
+  const std::size_t legacy_allocs = g_allocs.load() - c0;
+
+  c0 = g_allocs.load();
+  span_pass();
+  const std::size_t span_allocs = g_allocs.load() - c0;
+  const std::size_t pool_miss_delta =
+      az.workspace().pool_misses() - misses_before;
+
+  const double blocks = static_cast<double>(rows.size());
+  std::printf("allocations/block: legacy %.1f, span %.1f (pool misses %zu)\n",
+              static_cast<double>(legacy_allocs) / blocks,
+              static_cast<double>(span_allocs) / blocks, pool_miss_delta);
+  const bool steady_state_clean = span_allocs == 0 && pool_miss_delta == 0;
+  if (!steady_state_clean) {
+    std::printf("FAIL: warm span chain touched the heap (%zu allocs, "
+                "%zu pool misses)\n",
+                span_allocs, pool_miss_delta);
+  }
+
+  bench::JsonObject j;
+  j.add("bench", "analysis")
+      .add("dataset", fc.dataset.abbr)
+      .add("world_blocks", static_cast<std::int64_t>(world.blocks().size()))
+      .add("world_seed", static_cast<std::int64_t>(wc.seed))
+      .add("stage_reps", static_cast<std::int64_t>(reps))
+      .add("fleet_seconds", fleet_seconds)
+      .add("fleet_digest", bench::digest_hex(digest))
+      .add("sampled_blocks", static_cast<std::int64_t>(rows.size()))
+      .add("samples_per_block",
+           static_cast<std::int64_t>(total_samples / rows.size()))
+      .add("fft_msamples_per_sec", n / fft_best * 1e-6)
+      .add("stl_msamples_per_sec", n / stl_best * 1e-6)
+      .add("cusum_msamples_per_sec", n / cusum_best * 1e-6)
+      .add("legacy_allocs_per_block",
+           static_cast<double>(legacy_allocs) / blocks)
+      .add("span_allocs_per_block", static_cast<double>(span_allocs) / blocks)
+      .add("workspace_pool_miss_delta",
+           static_cast<std::int64_t>(pool_miss_delta))
+      .add("steady_state_alloc_free", steady_state_clean);
+  bench::write_bench_json("BENCH_analysis.json", j);
+  return steady_state_clean ? 0 : 1;
+}

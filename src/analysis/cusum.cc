@@ -97,6 +97,12 @@ void OnlineCusum::push(double value) {
   drive(false);
 }
 
+void OnlineCusum::scan(std::span<const double> x, const CusumOptions& opt) {
+  begin(opt);
+  for (const double v : x) push(v);
+  end_of_stream();
+}
+
 CusumResult OnlineCusum::finish() {
   drive(true);
   CusumResult res;

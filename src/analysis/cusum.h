@@ -66,9 +66,29 @@ class OnlineCusum {
   /// Samples pushed so far.
   std::size_t size() const noexcept { return x_.size(); }
 
+  /// End of stream without relinquishing buffers: resolves any open
+  /// excursion exactly as the batch scan does at the series end.  After
+  /// this, confirmed()/g_pos()/g_neg() hold the complete batch result;
+  /// the views stay valid until the next begin().  Use instead of
+  /// finish() when the machine is reused block after block — begin()
+  /// then recycles every internal buffer, so a warm machine scans
+  /// without allocating.
+  void end_of_stream() { drive(true); }
+
+  /// One full batch pass reusing this machine's buffers: begin + push
+  /// all + end_of_stream.  Equivalent to cusum_detect(x, opt) with the
+  /// result read through confirmed()/g_pos()/g_neg().
+  void scan(std::span<const double> x, const CusumOptions& opt = {});
+
+  /// Accumulator trajectories over the pushed prefix (batch-identical
+  /// after end_of_stream; the scan's undecided tail is zero-filled).
+  std::span<const double> g_pos() const noexcept { return g_pos_; }
+  std::span<const double> g_neg() const noexcept { return g_neg_; }
+
   /// End of stream: resolves any open excursion exactly as the batch
   /// scan does at the series end, and moves out the full result.  The
-  /// state is spent afterwards; call begin() to reuse it.
+  /// state is spent afterwards; call begin() to reuse it (moved-out
+  /// buffers are re-allocated — prefer end_of_stream() in reuse loops).
   CusumResult finish();
 
  private:

@@ -21,10 +21,11 @@ namespace {
 // Diurnal-band power ratio of a mean-removed window.
 double band_ratio(std::span<const double> values, double samples_per_day,
                   const DiurnalOptions& opt, double* total_out,
-                  double* band_out) {
+                  double* band_out, Workspace& ws) {
   const std::size_t n = values.size();
   const double m = mean(values);
-  std::vector<double> x(n);
+  auto lease = ws.acquire(n);
+  const std::span<double> x = lease.span();
   for (std::size_t i = 0; i < n; ++i) x[i] = values[i] - m;
 
   double total = 0.0;
@@ -54,13 +55,20 @@ double band_ratio(std::span<const double> values, double samples_per_day,
 
 DiurnalResult test_diurnal(std::span<const double> values,
                            double samples_per_day, const DiurnalOptions& opt) {
+  Workspace ws;
+  return test_diurnal(values, samples_per_day, opt, ws);
+}
+
+DiurnalResult test_diurnal(std::span<const double> values,
+                           double samples_per_day, const DiurnalOptions& opt,
+                           Workspace& ws) {
   DiurnalResult r;
   const std::size_t n = values.size();
   if (samples_per_day <= 0.0 || n < static_cast<std::size_t>(2 * samples_per_day)) {
     return r;  // need at least two full days
   }
-  r.power_ratio =
-      band_ratio(values, samples_per_day, opt, &r.total_power, &r.diurnal_power);
+  r.power_ratio = band_ratio(values, samples_per_day, opt, &r.total_power,
+                             &r.diurnal_power, ws);
   r.diurnal = r.power_ratio >= opt.min_power_ratio;
   if (!r.diurnal) return r;
 
@@ -74,7 +82,7 @@ DiurnalResult test_diurnal(std::span<const double> values,
     const double seg_threshold = opt.min_power_ratio * opt.segment_ratio_factor;
     for (std::size_t s = 0; s < segments; ++s) {
       const double ratio = band_ratio(values.subspan(s * seg_len, seg_len),
-                                      samples_per_day, opt, nullptr, nullptr);
+                                      samples_per_day, opt, nullptr, nullptr, ws);
       r.segments_diurnal += ratio >= seg_threshold;
     }
     if (static_cast<double>(r.segments_diurnal) <

@@ -9,6 +9,7 @@
 
 #include <span>
 
+#include "analysis/workspace.h"
 #include "util/timeseries.h"
 
 namespace diurnal::analysis {
@@ -50,5 +51,10 @@ DiurnalResult test_diurnal(const util::TimeSeries& series,
 /// Same test on raw samples with a given number of samples per day.
 DiurnalResult test_diurnal(std::span<const double> values, double samples_per_day,
                            const DiurnalOptions& opt = {});
+
+/// Allocation-free variant: the mean-removed window copy is leased from
+/// `ws`.  Bit-identical to the overloads above.
+DiurnalResult test_diurnal(std::span<const double> values, double samples_per_day,
+                           const DiurnalOptions& opt, Workspace& ws);
 
 }  // namespace diurnal::analysis

@@ -13,6 +13,10 @@ std::size_t next_pow2(std::size_t n) noexcept {
 }
 
 void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  fft_inplace(std::span<std::complex<double>>(data), inverse);
+}
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
   const std::size_t n = data.size();
   if (n == 0) return;
   if ((n & (n - 1)) != 0) {
@@ -53,11 +57,31 @@ std::vector<std::complex<double>> fft_real(std::span<const double> x) {
   return data;
 }
 
+std::span<std::complex<double>> fft_real(std::span<const double> x,
+                                         Workspace& ws) {
+  const std::size_t n = next_pow2(std::max<std::size_t>(x.size(), 1));
+  auto data = ws.complex_scratch(n);
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = x[i];
+  for (std::size_t i = x.size(); i < n; ++i) data[i] = 0.0;
+  fft_inplace(data);
+  return data;
+}
+
+std::size_t power_spectrum_size(std::size_t n) noexcept {
+  return next_pow2(std::max<std::size_t>(n, 1)) / 2 + 1;
+}
+
 std::vector<double> power_spectrum(std::span<const double> x) {
-  const auto spec = fft_real(x);
-  std::vector<double> out(spec.size() / 2 + 1);
-  for (std::size_t k = 0; k < out.size(); ++k) out[k] = std::norm(spec[k]);
+  std::vector<double> out(power_spectrum_size(x.size()));
+  Workspace ws;
+  power_spectrum(x, out, ws);
   return out;
+}
+
+void power_spectrum(std::span<const double> x, std::span<double> out,
+                    Workspace& ws) {
+  const auto spec = fft_real(x, ws);
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = std::norm(spec[k]);
 }
 
 double goertzel_power(std::span<const double> x, double cycles) noexcept {

@@ -76,7 +76,7 @@ namespace {
 // offset by `out_offset` (position p lands at out[p + out_offset]).
 void smooth_range(std::span<const double> y, const LoessOptions& opt,
                   std::span<const double> robustness, int first, int last,
-                  std::vector<double>& out, int out_offset) {
+                  std::span<double> out, int out_offset) {
   const int jump = std::max(1, opt.jump);
   int prev_pos = first;
   double prev_val = loess_at(y, first, opt, robustness);
@@ -107,24 +107,35 @@ void smooth_range(std::span<const double> y, const LoessOptions& opt,
 std::vector<double> loess_smooth(std::span<const double> y,
                                  const LoessOptions& opt,
                                  std::span<const double> robustness) {
-  const int n = static_cast<int>(y.size());
-  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
-  if (n == 0) return out;
-  smooth_range(y, opt, robustness, 0, n - 1, out, 0);
+  std::vector<double> out(y.size(), 0.0);
+  loess_smooth(y, opt, robustness, out);
   return out;
+}
+
+void loess_smooth(std::span<const double> y, const LoessOptions& opt,
+                  std::span<const double> robustness, std::span<double> out) {
+  const int n = static_cast<int>(y.size());
+  if (n == 0) return;
+  smooth_range(y, opt, robustness, 0, n - 1, out, 0);
 }
 
 std::vector<double> loess_smooth_extended(std::span<const double> y,
                                           const LoessOptions& opt,
                                           std::span<const double> robustness) {
+  std::vector<double> out(y.size() + 2, 0.0);
+  loess_smooth_extended(y, opt, robustness, out);
+  return out;
+}
+
+void loess_smooth_extended(std::span<const double> y, const LoessOptions& opt,
+                           std::span<const double> robustness,
+                           std::span<double> out) {
   const int n = static_cast<int>(y.size());
-  std::vector<double> out(static_cast<std::size_t>(n) + 2, 0.0);
-  if (n == 0) return out;
+  if (n == 0) return;
   out[0] = loess_at(y, -1.0, opt, robustness);
   smooth_range(y, opt, robustness, 0, n - 1, out, 1);
   out[static_cast<std::size_t>(n) + 1] =
       loess_at(y, static_cast<double>(n), opt, robustness);
-  return out;
 }
 
 }  // namespace diurnal::analysis

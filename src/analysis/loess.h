@@ -31,11 +31,23 @@ std::vector<double> loess_smooth(std::span<const double> y,
                                  const LoessOptions& opt,
                                  std::span<const double> robustness = {});
 
+/// Same into caller storage; out.size() must equal y.size().  `out`
+/// must not alias `y` or `robustness` (the smoother re-reads both
+/// while writing out).
+void loess_smooth(std::span<const double> y, const LoessOptions& opt,
+                  std::span<const double> robustness, std::span<double> out);
+
 /// Smooths and also extrapolates one position before the first point and
 /// one after the last (returns n + 2 values for positions -1 .. n).
 /// Used by STL's cycle-subseries step.
 std::vector<double> loess_smooth_extended(std::span<const double> y,
                                           const LoessOptions& opt,
                                           std::span<const double> robustness = {});
+
+/// Same into caller storage; out.size() must equal y.size() + 2, with
+/// the no-alias rule above.
+void loess_smooth_extended(std::span<const double> y, const LoessOptions& opt,
+                           std::span<const double> robustness,
+                           std::span<double> out);
 
 }  // namespace diurnal::analysis

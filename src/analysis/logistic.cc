@@ -9,29 +9,28 @@ namespace {
 double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
 }  // namespace
 
-void LogisticModel::fit(const std::vector<std::vector<double>>& features,
-                        const std::vector<int>& labels,
+void LogisticModel::fit(FeatureMatrix features, std::span<const int> labels,
                         const LogisticOptions& opt) {
-  if (features.empty() || features.size() != labels.size()) {
-    throw std::invalid_argument("LogisticModel::fit: bad training data");
+  if (features.dim == 0 || features.data.size() % features.dim != 0) {
+    throw std::invalid_argument("LogisticModel::fit: bad feature matrix");
   }
-  const std::size_t n = features.size();
-  const std::size_t d = features[0].size();
-  for (const auto& f : features) {
-    if (f.size() != d) {
-      throw std::invalid_argument("LogisticModel::fit: ragged features");
-    }
+  const std::size_t n = features.rows();
+  const std::size_t d = features.dim;
+  if (n == 0 || n != labels.size()) {
+    throw std::invalid_argument("LogisticModel::fit: bad training data");
   }
 
   // Standardize features for stable gradient descent.
   mean_.assign(d, 0.0);
   scale_.assign(d, 1.0);
-  for (const auto& f : features) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = features.row(i);
     for (std::size_t j = 0; j < d; ++j) mean_[j] += f[j];
   }
   for (auto& m : mean_) m /= static_cast<double>(n);
   std::vector<double> var(d, 0.0);
-  for (const auto& f : features) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = features.row(i);
     for (std::size_t j = 0; j < d; ++j) {
       const double dv = f[j] - mean_[j];
       var[j] += dv * dv;
@@ -49,13 +48,14 @@ void LogisticModel::fit(const std::vector<std::vector<double>>& features,
     std::fill(grad.begin(), grad.end(), 0.0);
     double grad_b = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+      const auto f = features.row(i);
       double z = bias_;
       for (std::size_t j = 0; j < d; ++j) {
-        z += weights_[j] * (features[i][j] - mean_[j]) / scale_[j];
+        z += weights_[j] * (f[j] - mean_[j]) / scale_[j];
       }
       const double err = sigmoid(z) - static_cast<double>(labels[i]);
       for (std::size_t j = 0; j < d; ++j) {
-        grad[j] += err * (features[i][j] - mean_[j]) / scale_[j];
+        grad[j] += err * (f[j] - mean_[j]) / scale_[j];
       }
       grad_b += err;
     }
@@ -65,6 +65,24 @@ void LogisticModel::fit(const std::vector<std::vector<double>>& features,
     }
     bias_ -= opt.learning_rate * grad_b * inv_n;
   }
+}
+
+void LogisticModel::fit(const std::vector<std::vector<double>>& features,
+                        const std::vector<int>& labels,
+                        const LogisticOptions& opt) {
+  if (features.empty() || features.size() != labels.size()) {
+    throw std::invalid_argument("LogisticModel::fit: bad training data");
+  }
+  const std::size_t d = features[0].size();
+  for (const auto& f : features) {
+    if (f.size() != d) {
+      throw std::invalid_argument("LogisticModel::fit: ragged features");
+    }
+  }
+  std::vector<double> flat;
+  flat.reserve(features.size() * d);
+  for (const auto& f : features) flat.insert(flat.end(), f.begin(), f.end());
+  fit(FeatureMatrix{flat, d}, labels, opt);
 }
 
 double LogisticModel::predict_proba(std::span<const double> x) const {
@@ -80,6 +98,21 @@ double LogisticModel::predict_proba(std::span<const double> x) const {
 
 bool LogisticModel::predict(std::span<const double> x, double cutoff) const {
   return predict_proba(x) >= cutoff;
+}
+
+BinaryMetrics evaluate(const LogisticModel& model, FeatureMatrix features,
+                       std::span<const int> labels, double cutoff) {
+  BinaryMetrics m;
+  const std::size_t n = features.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pred = model.predict(features.row(i), cutoff);
+    const bool truth = labels[i] != 0;
+    if (pred && truth) ++m.tp;
+    else if (pred && !truth) ++m.fp;
+    else if (!pred && truth) ++m.fn;
+    else ++m.tn;
+  }
+  return m;
 }
 
 BinaryMetrics evaluate(const LogisticModel& model,

@@ -16,12 +16,40 @@ struct LogisticOptions {
   double l2 = 1e-4;
 };
 
+/// A dense row-major feature-matrix view: sample i is
+/// data.subspan(i * dim, dim).  data.size() must be a multiple of dim.
+/// A view, not an owner — the caller keeps the backing storage alive.
+struct FeatureMatrix {
+  std::span<const double> data;
+  std::size_t dim = 0;
+
+  /// Explicit so brace-literals at call sites keep resolving to the
+  /// nested-vector overloads instead of becoming ambiguous.
+  explicit FeatureMatrix(std::span<const double> d, std::size_t k) noexcept
+      : data(d), dim(k) {}
+
+  std::size_t rows() const noexcept { return dim == 0 ? 0 : data.size() / dim; }
+  std::span<const double> row(std::size_t i) const noexcept {
+    return data.subspan(i * dim, dim);
+  }
+};
+
 /// A binary logistic-regression model over dense feature vectors.
 /// Features are standardized internally (mean/stddev from fit data).
 class LogisticModel {
  public:
-  /// Fits with gradient descent.  `features[i]` must all have the same
-  /// dimensionality; labels are 0/1.  Throws on size mismatch.
+  /// Fits with gradient descent over a flat row-major feature matrix;
+  /// labels are 0/1, one per row.  Throws on empty data, size mismatch,
+  /// or data.size() not a multiple of dim.
+  ///
+  /// Aliasing: `features` and `labels` are read-only and may alias each
+  /// other or any caller storage, but must NOT view this model's own
+  /// internal buffers (weights()/bias state) — fit() reallocates them.
+  void fit(FeatureMatrix features, std::span<const int> labels,
+           const LogisticOptions& opt = {});
+
+  /// Nested-vector convenience wrapper; flattens and delegates.
+  /// Throws on ragged rows.  Bit-identical to the span overload.
   void fit(const std::vector<std::vector<double>>& features,
            const std::vector<int>& labels, const LogisticOptions& opt = {});
 
@@ -60,7 +88,11 @@ struct BinaryMetrics {
   }
 };
 
-/// Evaluates a fitted model against labeled data.
+/// Evaluates a fitted model against labeled data (flat row-major).
+BinaryMetrics evaluate(const LogisticModel& model, FeatureMatrix features,
+                       std::span<const int> labels, double cutoff = 0.5);
+
+/// Nested-vector convenience overload.
 BinaryMetrics evaluate(const LogisticModel& model,
                        const std::vector<std::vector<double>>& features,
                        const std::vector<int>& labels, double cutoff = 0.5);

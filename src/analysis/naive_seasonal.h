@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/workspace.h"
 #include "util/timeseries.h"
 
 namespace diurnal::analysis {
@@ -22,6 +23,14 @@ struct NaiveDecomposition {
 /// The centered-moving-average trend is extended to the series edges by
 /// holding the first/last computable value.  y.size() must be >= 2*period.
 NaiveDecomposition naive_decompose(std::span<const double> y, int period);
+
+/// Span-based decomposition into caller storage; the per-phase
+/// accumulators are leased from `ws`.  trend/seasonal/residual must
+/// each hold y.size() elements and must not alias y or each other.
+/// Bit-identical to the vector overload.
+void naive_decompose(std::span<const double> y, int period, Workspace& ws,
+                     std::span<double> trend, std::span<double> seasonal,
+                     std::span<double> residual);
 
 /// TimeSeries convenience overload.
 struct NaiveSeries {

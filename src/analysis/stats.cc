@@ -24,16 +24,33 @@ double stddev(std::span<const double> x) noexcept { return std::sqrt(variance(x)
 
 double median(std::span<const double> x) { return quantile(x, 0.5); }
 
+double median(std::span<const double> x, Workspace& ws) {
+  return quantile(x, 0.5, ws);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 double quantile(std::span<const double> x, double q) {
   if (x.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
   std::vector<double> v(x.begin(), x.end());
   std::sort(v.begin(), v.end());
-  const double pos = q * static_cast<double>(v.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  return quantile_sorted(v, q);
+}
+
+double quantile(std::span<const double> x, double q, Workspace& ws) {
+  if (x.empty()) return 0.0;
+  auto v = ws.acquire(x.size());
+  std::copy(x.begin(), x.end(), v.data());
+  std::sort(v.data(), v.data() + v.size());
+  return quantile_sorted(v.span(), q);
 }
 
 double pearson(std::span<const double> x, std::span<const double> y) noexcept {
@@ -60,18 +77,25 @@ double pearson(std::span<const double> x, std::span<const double> y) noexcept {
 
 std::vector<double> ecdf_at(std::span<const double> x,
                             std::span<const double> thresholds) {
-  std::vector<double> sorted(x.begin(), x.end());
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<double> out;
-  out.reserve(thresholds.size());
-  for (const double t : thresholds) {
-    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
-    out.push_back(sorted.empty()
-                      ? 0.0
-                      : static_cast<double>(it - sorted.begin()) /
-                            static_cast<double>(sorted.size()));
-  }
+  std::vector<double> out(thresholds.size());
+  Workspace ws;
+  ecdf_at(x, thresholds, out, ws);
   return out;
+}
+
+void ecdf_at(std::span<const double> x, std::span<const double> thresholds,
+             std::span<double> out, Workspace& ws) {
+  auto sorted = ws.acquire(x.size());
+  std::copy(x.begin(), x.end(), sorted.data());
+  std::sort(sorted.data(), sorted.data() + sorted.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double t = thresholds[i];
+    const auto* it =
+        std::upper_bound(sorted.data(), sorted.data() + sorted.size(), t);
+    out[i] = x.empty() ? 0.0
+                       : static_cast<double>(it - sorted.data()) /
+                             static_cast<double>(x.size());
+  }
 }
 
 std::vector<CdfPoint> ecdf(std::span<const double> x, std::size_t max_points) {

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/workspace.h"
 #include "util/timeseries.h"
 
 namespace diurnal::analysis {
@@ -38,6 +39,18 @@ struct StlDecomposition {
 /// + residual.  y.size() must be at least 2 * period.
 /// Throws std::invalid_argument for shorter series or period < 2.
 StlDecomposition stl_decompose(std::span<const double> y, const StlOptions& opt);
+
+/// Span-based decomposition into caller storage; every scratch buffer
+/// is leased from `ws`, so a warm workspace runs allocation-free.
+/// trend/seasonal/residual must each hold y.size() elements and must
+/// not alias y, each other, or ws-leased storage.  `robustness_out` is
+/// empty or y.size() elements; when non-empty and opt.outer_iterations
+/// > 0 it receives the final robustness weights.  Bit-identical to the
+/// vector overload.
+void stl_decompose(std::span<const double> y, const StlOptions& opt,
+                   Workspace& ws, std::span<double> trend,
+                   std::span<double> seasonal, std::span<double> residual,
+                   std::span<double> robustness_out = {});
 
 /// Convenience overload mapping a TimeSeries; returns components as
 /// TimeSeries aligned with the input.

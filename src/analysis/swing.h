@@ -8,8 +8,10 @@
 // weekends and 3-day holiday weekends).
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "analysis/workspace.h"
 #include "util/timeseries.h"
 
 namespace diurnal::analysis {
@@ -35,5 +37,13 @@ SwingResult classify_swing(const util::TimeSeries& series,
 /// Same classification from precomputed per-day stats.
 SwingResult classify_swing(const std::vector<util::DayStats>& days,
                            const SwingOptions& opt = {});
+
+/// Allocation-free variant on raw samples: value[i] covers
+/// [start + i*step, start + (i+1)*step); the per-day stats and the dense
+/// wide-day axis are computed inline with scratch leased from `ws`.
+/// Bit-identical to classify_swing(TimeSeries(start, step, values), opt).
+SwingResult classify_swing(std::span<const double> values, util::SimTime start,
+                           std::int64_t step, const SwingOptions& opt,
+                           Workspace& ws);
 
 }  // namespace diurnal::analysis

@@ -2,19 +2,32 @@
 
 namespace diurnal::core {
 
-BlockClassification classify_block(const recon::ReconResult& recon,
-                                   const ClassifierOptions& opt) {
+BlockClassification classify_block(std::span<const double> counts,
+                                   util::SimTime start, std::int64_t step,
+                                   bool responsive, double evidence_fraction,
+                                   const ClassifierOptions& opt,
+                                   analysis::BlockAnalyzer& az) {
   BlockClassification c;
-  c.responsive = recon.responsive;
-  c.evidence_fraction = recon.evidence_fraction;
-  c.low_confidence = recon.evidence_fraction < opt.min_evidence_fraction;
+  c.responsive = responsive;
+  c.evidence_fraction = evidence_fraction;
+  c.low_confidence = evidence_fraction < opt.min_evidence_fraction;
   if (!c.responsive) return c;
-  c.diurnal_detail = analysis::test_diurnal(recon.counts, opt.diurnal);
+  const double samples_per_day = static_cast<double>(util::kSecondsPerDay) /
+                                 static_cast<double>(step);
+  c.diurnal_detail = az.diurnal(counts, samples_per_day, opt.diurnal);
   c.diurnal = c.diurnal_detail.diurnal;
-  c.swing_detail = analysis::classify_swing(recon.counts, opt.swing);
+  c.swing_detail = az.swing(counts, start, step, opt.swing);
   c.wide_swing = c.swing_detail.wide;
   c.change_sensitive = c.diurnal && c.wide_swing;
   return c;
+}
+
+BlockClassification classify_block(const recon::ReconResult& recon,
+                                   const ClassifierOptions& opt) {
+  thread_local analysis::BlockAnalyzer az;
+  return classify_block(recon.counts.span(), recon.counts.start(),
+                        recon.counts.step(), recon.responsive,
+                        recon.evidence_fraction, opt, az);
 }
 
 void FunnelCounts::add(const BlockClassification& c) noexcept {

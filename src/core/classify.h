@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "analysis/block_analyzer.h"
 #include "analysis/diurnal_test.h"
 #include "analysis/swing.h"
 #include "recon/reconstruct.h"
@@ -44,6 +46,16 @@ struct BlockClassification {
 /// Classifies a reconstructed block.
 BlockClassification classify_block(const recon::ReconResult& recon,
                                    const ClassifierOptions& opt = {});
+
+/// Span-kernel path: classifies from the raw series plus the only two
+/// reconstruction statistics the funnel consults, running the analysis
+/// chain through the caller's per-thread analyzer.  Bit-identical to
+/// the ReconResult overload.
+BlockClassification classify_block(std::span<const double> counts,
+                                   util::SimTime start, std::int64_t step,
+                                   bool responsive, double evidence_fraction,
+                                   const ClassifierOptions& opt,
+                                   analysis::BlockAnalyzer& az);
 
 /// Table 2 row: counts of blocks at each funnel stage.
 struct FunnelCounts {

@@ -47,39 +47,59 @@ struct RawInterval {
   util::SimTime end;
 };
 
-std::vector<RawInterval> detect_raw_outages(const util::TimeSeries& counts,
-                                            const DetectorOptions& opt) {
-  std::vector<RawInterval> out;
-  if (counts.size() < 8 || counts.step() <= 0 ||
-      counts.step() > util::kSecondsPerHour * 6) {
-    return out;
+void detect_raw_outages(std::span<const double> counts, util::SimTime start,
+                        std::int64_t step, const DetectorOptions& opt,
+                        analysis::Workspace& ws,
+                        std::vector<RawInterval>& out) {
+  out.clear();
+  if (counts.size() < 8 || step <= 0 || step > util::kSecondsPerHour * 6) {
+    return;
   }
 
   // Per-hour-of-week median profile: a work-week block is *normally*
   // quiet at night and on weekends, so only hours that are typically
   // active can evidence an outage.  (Real outage detectors have the
   // same blind spot.)  Needs a few weeks of data to be meaningful.
+  auto time_at = [&](std::size_t i) {
+    return start + static_cast<std::int64_t>(i) * step;
+  };
   auto hour_of_week = [&](std::size_t i) {
-    const util::SimTime t = counts.time_at(i);
+    const util::SimTime t = time_at(i);
     return static_cast<std::size_t>(util::weekday_of(t)) * 24 +
            static_cast<std::size_t>(util::hour_of_day(t));
   };
   if (counts.size() < 4 * 168 * static_cast<std::size_t>(
-                          util::kSecondsPerHour / counts.step() + 1) &&
-      counts.end_time() - counts.start() < 28 * util::kSecondsPerDay) {
-    return out;
+                          util::kSecondsPerHour / step + 1) &&
+      time_at(counts.size()) - start < 28 * util::kSecondsPerDay) {
+    return;
   }
-  std::array<std::vector<double>, 168> by_hour;
+  // Counting sort by hour-of-week into one leased buffer, then sort
+  // each hour's segment in place: same multiset per hour as the legacy
+  // 168-vector bucketing, so quantile_sorted() reproduces
+  // analysis::median() bit for bit with no per-call allocation.
+  std::array<std::size_t, 168> cnt{};
+  for (std::size_t i = 0; i < counts.size(); ++i) ++cnt[hour_of_week(i)];
+  auto lease = ws.acquire(counts.size());
+  const std::span<double> buckets = lease.span();
+  std::array<std::size_t, 168> off{};
+  std::size_t acc = 0;
+  for (std::size_t h = 0; h < 168; ++h) {
+    off[h] = acc;
+    acc += cnt[h];
+  }
+  std::array<std::size_t, 168> cur = off;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    by_hour[hour_of_week(i)].push_back(counts[i]);
+    buckets[cur[hour_of_week(i)]++] = counts[i];
   }
   std::array<double, 168> profile{};
   bool any_active_hour = false;
   for (std::size_t h = 0; h < 168; ++h) {
-    profile[h] = analysis::median(by_hour[h]);
+    const std::span<double> seg = buckets.subspan(off[h], cnt[h]);
+    std::sort(seg.begin(), seg.end());
+    profile[h] = analysis::quantile_sorted(seg, 0.5);
     any_active_hour |= profile[h] >= 2.0;
   }
-  if (!any_active_hour) return out;
+  if (!any_active_hour) return;
 
   // A run of "anomalously low at a normally-active hour" samples, with
   // non-informative (normally quiet) hours bridged, bounded on both
@@ -113,8 +133,8 @@ std::vector<RawInterval> detect_raw_outages(const util::TimeSeries& counts,
       case Sample::kNormal:
         if (in_run) {
           in_run = false;
-          const util::SimTime t0 = counts.time_at(run_start);
-          const util::SimTime t1 = counts.time_at(i);
+          const util::SimTime t0 = time_at(run_start);
+          const util::SimTime t1 = time_at(i);
           if (bounded_left && t1 - t0 <= opt.max_outage_duration) {
             out.push_back(RawInterval{t0, t1});
           }
@@ -125,28 +145,26 @@ std::vector<RawInterval> detect_raw_outages(const util::TimeSeries& counts,
   }
   // A run still open at the series end is unbounded: not a confirmed
   // outage (it could be WFH in progress).
-  return out;
 }
 
-}  // namespace
+// The whole detection stage over span kernels.  `rich` non-null also
+// materializes the component series of the legacy DetectionResult.
+void run_detection(std::span<const double> counts, util::SimTime start,
+                   std::int64_t step, const DetectorOptions& opt,
+                   analysis::BlockAnalyzer& az,
+                   std::vector<DetectedChange>& changes,
+                   DetectionResult* rich) {
+  changes.clear();
+  if (counts.empty() || step <= 0) return;
 
-DetectionResult detect_changes(const util::TimeSeries& counts,
-                               const DetectorOptions& opt) {
-  DetectionResult res;
-  if (counts.empty() || counts.step() <= 0) return res;
-
-  const int period = static_cast<int>(opt.period_seconds / counts.step());
-  if (period < 2 ||
-      counts.size() < static_cast<std::size_t>(2 * period)) {
-    return res;
+  const int period = static_cast<int>(opt.period_seconds / step);
+  if (period < 2 || counts.size() < static_cast<std::size_t>(2 * period)) {
+    return;
   }
 
-  analysis::StlDecomposition dec;
+  analysis::BlockAnalyzer::Decomposition dec;
   if (opt.trend_model == TrendModel::kNaive) {
-    const auto naive = analysis::naive_decompose(counts.span(), period);
-    dec.trend = naive.trend;
-    dec.seasonal = naive.seasonal;
-    dec.residual = naive.residual;
+    dec = az.decompose_naive(counts, period);
   } else {
     analysis::StlOptions stl = opt.stl;
     stl.period = period;
@@ -157,32 +175,29 @@ DetectionResult detect_changes(const util::TimeSeries& counts,
       // suppressing population-churn wiggles.
       stl.trend_span = period + period / 4 + 1;
     }
-    dec = analysis::stl_decompose(counts.span(), stl);
+    dec = az.decompose_stl(counts, stl);
   }
 
-  res.trend = util::TimeSeries(counts.start(), counts.step(), dec.trend);
-  res.seasonal = util::TimeSeries(counts.start(), counts.step(), dec.seasonal);
-  res.residual = util::TimeSeries(counts.start(), counts.step(), dec.residual);
-  res.normalized_trend = res.trend.zscore();
+  const auto z = az.zscore(dec.trend);
+  const auto cus = az.cusum(z, opt.cusum);
 
-  auto cus = analysis::cusum_detect(res.normalized_trend.span(), opt.cusum);
-  res.cusum_pos = std::move(cus.g_pos);
-  res.cusum_neg = std::move(cus.g_neg);
-
-  res.changes.reserve(cus.changes.size());
+  auto time_at = [&](std::size_t i) {
+    return start + static_cast<std::int64_t>(i) * step;
+  };
+  changes.reserve(cus.changes.size());
   for (const auto& cp : cus.changes) {
     DetectedChange c;
-    c.start = res.normalized_trend.time_at(cp.start);
-    c.alarm = res.normalized_trend.time_at(cp.alarm);
-    c.end = res.normalized_trend.time_at(cp.end);
+    c.start = time_at(cp.start);
+    c.alarm = time_at(cp.alarm);
+    c.end = time_at(cp.end);
     c.direction = cp.direction;
     c.amplitude = cp.amplitude;
     c.amplitude_addresses = dec.trend[cp.end] - dec.trend[cp.start];
     c.filtered_small =
         std::abs(c.amplitude_addresses) < opt.min_change_addresses;
-    res.changes.push_back(c);
+    changes.push_back(c);
   }
-  filter_outage_pairs(res.changes, opt);
+  filter_outage_pairs(changes, opt);
 
   // Cross-check against raw-counts outages (section 2.6): an adjacent
   // down/up pair is an outage artifact when a short, bounded blackout of
@@ -190,12 +205,13 @@ DetectionResult detect_changes(const util::TimeSeries& counts,
   // up excursion* — i.e. the blackout explains the pair.  Anchoring both
   // ends keeps week-long holidays (low runs > max_outage_duration) and
   // changes that merely sit near an unrelated one-hour outage alive.
-  const auto outages = detect_raw_outages(counts, opt);
+  std::vector<RawInterval> outages;
+  detect_raw_outages(counts, start, step, opt, az.workspace(), outages);
   if (!outages.empty()) {
     const std::int64_t margin = util::kSecondsPerDay;
-    for (std::size_t i = 0; i + 1 < res.changes.size(); ++i) {
-      auto& a = res.changes[i];
-      auto& b = res.changes[i + 1];
+    for (std::size_t i = 0; i + 1 < changes.size(); ++i) {
+      auto& a = changes[i];
+      auto& b = changes[i + 1];
       if (a.direction != analysis::ChangeDirection::kDown ||
           b.direction != analysis::ChangeDirection::kUp) {
         continue;
@@ -210,6 +226,39 @@ DetectionResult detect_changes(const util::TimeSeries& counts,
       }
     }
   }
+
+  if (rich != nullptr) {
+    rich->trend = util::TimeSeries(start, step,
+                                   std::vector<double>(dec.trend.begin(),
+                                                       dec.trend.end()));
+    rich->seasonal = util::TimeSeries(
+        start, step,
+        std::vector<double>(dec.seasonal.begin(), dec.seasonal.end()));
+    rich->residual = util::TimeSeries(
+        start, step,
+        std::vector<double>(dec.residual.begin(), dec.residual.end()));
+    rich->normalized_trend =
+        util::TimeSeries(start, step, std::vector<double>(z.begin(), z.end()));
+    rich->cusum_pos.assign(cus.g_pos.begin(), cus.g_pos.end());
+    rich->cusum_neg.assign(cus.g_neg.begin(), cus.g_neg.end());
+  }
+}
+
+}  // namespace
+
+void detect_changes(std::span<const double> counts, util::SimTime start,
+                    std::int64_t step, const DetectorOptions& opt,
+                    analysis::BlockAnalyzer& az,
+                    std::vector<DetectedChange>& changes) {
+  run_detection(counts, start, step, opt, az, changes, nullptr);
+}
+
+DetectionResult detect_changes(const util::TimeSeries& counts,
+                               const DetectorOptions& opt) {
+  thread_local analysis::BlockAnalyzer az;
+  DetectionResult res;
+  run_detection(counts.span(), counts.start(), counts.step(), opt, az,
+                res.changes, &res);
   return res;
 }
 

@@ -4,8 +4,10 @@
 // changes (outages and ISP renumbering).
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "analysis/block_analyzer.h"
 #include "analysis/cusum.h"
 #include "analysis/stl.h"
 #include "util/timeseries.h"
@@ -88,5 +90,14 @@ struct DetectionResult {
 /// an empty result.
 DetectionResult detect_changes(const util::TimeSeries& counts,
                                const DetectorOptions& opt = {});
+
+/// Span-kernel path: the same stage run through the caller's per-thread
+/// analyzer, emitting only the change list (no component series are
+/// materialized — the fleet drive never reads them).  `changes` is
+/// cleared and refilled; bit-identical to the overload above.
+void detect_changes(std::span<const double> counts, util::SimTime start,
+                    std::int64_t step, const DetectorOptions& opt,
+                    analysis::BlockAnalyzer& az,
+                    std::vector<DetectedChange>& changes);
 
 }  // namespace diurnal::core

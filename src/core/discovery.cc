@@ -27,6 +27,13 @@ std::string DiscoveredEvent::to_string() const {
 
 std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
                                              const DiscoveryOptions& opt) {
+  analysis::Workspace ws;
+  return discover_events(agg, opt, ws);
+}
+
+std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
+                                             const DiscoveryOptions& opt,
+                                             analysis::Workspace& ws) {
   std::vector<DiscoveredEvent> out;
   for (const auto& [cell, series] : agg.by_cell()) {
     if (series.change_sensitive_blocks < opt.min_blocks) continue;
@@ -36,7 +43,8 @@ std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
     const std::size_t days = series.down.size();
     const std::size_t w = static_cast<std::size_t>(std::max(opt.window_days, 1));
     if (days < w) continue;
-    std::vector<double> windowed(days - w + 1, 0.0);
+    auto lease = ws.acquire_zero(days - w + 1);
+    const std::span<double> windowed = lease.span();
     double running = 0.0;
     for (std::size_t i = 0; i < days; ++i) {
       running += series.down[i];
@@ -47,7 +55,8 @@ std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
     // Baseline: the 75th percentile of the windowed counts.  A low-order
     // statistic over *all* windows keeps the spikes themselves from
     // inflating the baseline (most windows in most cells are quiet).
-    const double baseline = std::max(1.0, analysis::quantile(windowed, 0.75));
+    const double baseline =
+        std::max(1.0, analysis::quantile(windowed, 0.75, ws));
     const double blocks = static_cast<double>(series.change_sensitive_blocks);
 
     std::size_t d = 0;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/workspace.h"
 #include "core/aggregate.h"
 
 namespace diurnal::core {
@@ -48,5 +49,12 @@ struct DiscoveredEvent {
 /// peak fraction.
 std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
                                              const DiscoveryOptions& opt = {});
+
+/// Same scan with the per-cell sliding-window scratch leased from `ws`
+/// (bit-identical results; repeated scans allocate only for the events
+/// themselves).
+std::vector<DiscoveredEvent> discover_events(const ChangeAggregator& agg,
+                                             const DiscoveryOptions& opt,
+                                             analysis::Workspace& ws);
 
 }  // namespace diurnal::core

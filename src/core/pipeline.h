@@ -14,6 +14,7 @@
 #include "core/classify.h"
 #include "core/datasets.h"
 #include "core/detect.h"
+#include "core/series_store.h"
 #include "fault/degradation.h"
 #include "fault/fault_plan.h"
 #include "probe/loss_model.h"
@@ -70,6 +71,13 @@ struct FleetResult {
   std::vector<BlockOutcome> outcomes;    ///< aligned with world.blocks()
   /// Per-block coverage/trust accounting (blocks aligned with outcomes).
   fault::DegradationReport degradation{};
+  /// Columnar per-block reconstructed series (rows aligned with
+  /// outcomes).  Which rows are populated depends on the window mode:
+  /// with a single fused window every nonzero block's detection-window
+  /// series is present; with separate classification/detection windows
+  /// only change-sensitive blocks reach the detection pass, so other
+  /// rows have length 0.  Not hashed by the fleet digest.
+  SeriesStore series;
 };
 
 /// Runs the pipeline over every block of the world.

@@ -1,0 +1,14 @@
+#include "core/series_store.h"
+
+namespace diurnal::core {
+
+void SeriesStore::reset(std::size_t rows, std::size_t stride,
+                        util::SimTime start, std::int64_t step) {
+  stride_ = stride;
+  start_ = start;
+  step_ = step <= 0 ? 1 : step;
+  data_.resize(rows * stride);  // default-init: rows are written by owners
+  len_.assign(rows, 0);
+}
+
+}  // namespace diurnal::core

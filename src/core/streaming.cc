@@ -34,17 +34,18 @@ recon::BlockObservationConfig observation_config(const FleetConfig& cfg,
 // slack on each side, because STL smoothing and CUSUM change-dating can
 // land the excursion boundary a few samples off the gap edge.
 void annotate_low_evidence(std::vector<DetectedChange>& changes,
-                           const recon::ReconResult& recon,
+                           double evidence_fraction,
+                           std::span<const recon::CoverageGap> gaps,
                            double evidence_floor) {
   if (changes.empty()) return;
-  const bool all_low = recon.evidence_fraction < evidence_floor;
+  const bool all_low = evidence_fraction < evidence_floor;
   constexpr util::SimTime kSlack = util::kSecondsPerDay;
   for (auto& c : changes) {
     if (all_low) {
       c.low_evidence = true;
       continue;
     }
-    for (const auto& g : recon.gaps) {
+    for (const auto& g : gaps) {
       if (c.start - kSlack < g.end && c.end + kSlack > g.start) {
         c.low_evidence = true;
         break;
@@ -126,29 +127,48 @@ StreamingFleet::StreamingFleet(const sim::World& world,
 
   result_.outcomes.resize(world.blocks().size());
   result_.degradation.blocks.resize(world.blocks().size());
+  // One allocation for every block's detection-window series; rows are
+  // bound to each reconstruction as it begins (stride mirrors
+  // BlockReconState::begin()'s sample count).
+  const std::int64_t sstep = detect_oc_.recon.sample_step;
+  const std::int64_t dur = window_.end - window_.start;
+  const std::size_t stride =
+      (sstep <= 0 || dur <= 0)
+          ? 0
+          : static_cast<std::size_t>((dur + sstep - 1) / sstep);
+  store_.reset(world.blocks().size(), stride, window_.start, sstep);
   clock_ = window_.start;
 }
 
 void StreamingFleet::classify_outcome(std::size_t i,
-                                      const recon::DegradedReconResult& dr) {
+                                      std::span<const double> counts,
+                                      const recon::DegradedReconStats& ds,
+                                      analysis::BlockAnalyzer& az) {
   BlockOutcome& out = result_.outcomes[i];
-  out.cls = classify_block(dr.recon, config_.classifier);
+  out.cls = classify_block(counts, ds.recon.start, ds.recon.step,
+                           ds.recon.responsive, ds.recon.evidence_fraction,
+                           config_.classifier, az);
   result_.degradation.blocks[i] = fault::summarize_block(
-      dr.observers, static_cast<int>(dr.observers.size()), classify_oc_.window,
-      dr.recon.evidence_fraction, dr.recon.max_gap_seconds, evidence_floor_);
+      ds.observers, static_cast<int>(ds.observers.size()), classify_oc_.window,
+      ds.recon.evidence_fraction, ds.recon.max_gap_seconds, evidence_floor_);
 }
 
 void StreamingFleet::detect_outcome(std::size_t i,
-                                    const recon::ReconResult& recon) {
+                                    std::span<const double> counts,
+                                    const recon::ReconStats& stats,
+                                    analysis::BlockAnalyzer& az) {
   BlockOutcome& out = result_.outcomes[i];
-  out.changes = detect_changes(recon.counts, config_.detector).changes;
-  annotate_low_evidence(out.changes, recon, evidence_floor_);
+  detect_changes(counts, stats.start, stats.step, config_.detector, az,
+                 out.changes);
+  annotate_low_evidence(out.changes, stats.evidence_fraction, stats.gaps,
+                        evidence_floor_);
 }
 
 void StreamingFleet::finish_result() {
   result_.funnel = FunnelCounts{};
   for (const auto& out : result_.outcomes) result_.funnel.add(out.cls);
   result_.degradation.finalize();
+  result_.series = std::move(store_);
   finished_ = true;
 }
 
@@ -160,8 +180,9 @@ FleetResult StreamingFleet::run_to_completion() {
     return [&] {
       probe::ProbeScratch scratch;
       recon::BlockStream stream;
-      recon::DegradedReconResult classify_dr;
-      recon::DegradedReconResult detect_dr;
+      recon::DegradedReconStats classify_sr;
+      recon::DegradedReconStats detect_sr;
+      analysis::BlockAnalyzer analyzer;
       for (;;) {
         const std::size_t begin =
             next.fetch_add(kChunk, std::memory_order_relaxed);
@@ -175,30 +196,38 @@ FleetResult StreamingFleet::run_to_completion() {
           switch (mode_) {
             case Mode::kSame:
               stream.begin(block, detect_oc_, scratch);
-              stream.finalize(classify_dr);
-              classify_outcome(i, classify_dr);
+              stream.bind_series(store_.row(i));
+              stream.finalize_stats(classify_sr);
+              store_.set_len(i, classify_sr.recon.len);
+              classify_outcome(i, store_.series(i), classify_sr, analyzer);
               if (out.cls.change_sensitive && config_.run_detection) {
-                detect_outcome(i, classify_dr.recon);
+                detect_outcome(i, store_.series(i), classify_sr.recon,
+                               analyzer);
               }
               break;
             case Mode::kUnion:
               stream.begin(block, detect_oc_, scratch, classify_window_.end);
+              stream.bind_series(store_.row(i));
               stream.advance_to(classify_window_.end);
-              stream.finalize_classify(classify_dr);
-              classify_outcome(i, classify_dr);
+              stream.finalize_classify_stats(classify_sr);
+              classify_outcome(i, stream.classify_series(), classify_sr,
+                               analyzer);
               if (out.cls.change_sensitive && config_.run_detection) {
-                stream.finalize(detect_dr);
-                detect_outcome(i, detect_dr.recon);
+                stream.finalize_stats(detect_sr);
+                store_.set_len(i, detect_sr.recon.len);
+                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
               }
               break;
             case Mode::kSeparate:
               stream.begin(block, classify_oc_, scratch);
-              stream.finalize(classify_dr);
-              classify_outcome(i, classify_dr);
+              stream.finalize_stats(classify_sr);
+              classify_outcome(i, stream.series(), classify_sr, analyzer);
               if (out.cls.change_sensitive && config_.run_detection) {
                 stream.begin(block, detect_oc_, scratch);
-                stream.finalize(detect_dr);
-                detect_outcome(i, detect_dr.recon);
+                stream.bind_series(store_.row(i));
+                stream.finalize_stats(detect_sr);
+                store_.set_len(i, detect_sr.recon.len);
+                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
               }
               break;
           }
@@ -226,10 +255,12 @@ void StreamingFleet::begin_cell(std::size_t i, probe::ProbeScratch& scratch) {
   } else {
     c.stream.begin(block, detect_oc_, scratch);
   }
+  c.stream.bind_series(store_.row(i));
   c.active = true;
 }
 
-void StreamingFleet::screen_cell(std::size_t i) {
+void StreamingFleet::screen_cell(std::size_t i, analysis::BlockAnalyzer& az,
+                                 recon::ReconStats& stats) {
   Cell& c = cells_[i];
   const std::int64_t step = detect_oc_.recon.sample_step;
   if (step <= 0) {
@@ -247,14 +278,17 @@ void StreamingFleet::screen_cell(std::size_t i) {
   // Provisional screen: classify a truncated snapshot of the stream so
   // far.  The verdict is only a watch decision — the authoritative
   // classification happens at finalize over the full window.
-  recon::ReconResult res;
-  rs.snapshot(res);
-  const auto cls = classify_block(res, config_.classifier);
+  rs.snapshot_stats(stats);
+  const auto counts = c.stream.series().first(stats.len);
+  const auto cls =
+      classify_block(counts, stats.start, stats.step, stats.responsive,
+                     stats.evidence_fraction, config_.classifier, az);
   c.screened = true;
   c.watched = cls.change_sensitive;
 }
 
 void StreamingFleet::update_provisional(std::size_t i,
+                                        analysis::BlockAnalyzer& az,
                                         std::vector<ProvisionalChange>& out) {
   Cell& c = cells_[i];
   const std::int64_t step = detect_oc_.recon.sample_step;
@@ -276,9 +310,9 @@ void StreamingFleet::update_provisional(std::size_t i,
   if (stl.trend_span == 0) {
     stl.trend_span = static_cast<int>(period + period / 4 + 1);
   }
-  const auto& samples = rs.samples();
-  const auto dec = analysis::stl_decompose(
-      std::span<const double>(samples.data() + first, emitted - first), stl);
+  const auto samples = c.stream.series();
+  const auto dec = az.decompose_stl(samples.subspan(first, emitted - first),
+                                    stl);
 
   if (c.tn == 0) c.trend_base = first;
   for (std::size_t idx = std::max(c.trend_fed, first); idx < emitted; ++idx) {
@@ -335,7 +369,9 @@ EpochReport StreamingFleet::advance_to(util::SimTime until) {
       const unsigned wid = worker_ids.fetch_add(1);
       probe::ProbeScratch scratch;
       recon::BlockStream cpass;
-      recon::DegradedReconResult dr;
+      recon::DegradedReconStats dr;
+      recon::ReconStats screen_stats;
+      analysis::BlockAnalyzer analyzer;
       std::size_t local_delivered = 0;
       for (;;) {
         const std::size_t begin =
@@ -350,8 +386,8 @@ EpochReport StreamingFleet::advance_to(util::SimTime until) {
           if (mode_ == Mode::kUnion && !c.classified) {
             c.stream.advance_to(std::min(until, classify_window_.end));
             if (until >= classify_window_.end) {
-              c.stream.finalize_classify(dr);
-              classify_outcome(i, dr);
+              c.stream.finalize_classify_stats(dr);
+              classify_outcome(i, c.stream.classify_series(), dr, analyzer);
               c.classified = true;
               c.screened = true;
               c.watched = result_.outcomes[i].cls.change_sensitive &&
@@ -371,8 +407,8 @@ EpochReport StreamingFleet::advance_to(util::SimTime until) {
             // dedicated pass now so the verdict lands on the epoch when
             // the data became available.
             cpass.begin(blocks[i], classify_oc_, scratch);
-            cpass.finalize(dr);
-            classify_outcome(i, dr);
+            cpass.finalize_stats(dr);
+            classify_outcome(i, cpass.series(), dr, analyzer);
             c.classified = true;
             c.screened = true;
             c.watched = result_.outcomes[i].cls.change_sensitive &&
@@ -382,8 +418,10 @@ EpochReport StreamingFleet::advance_to(util::SimTime until) {
           const std::size_t d = c.stream.delivered_observations();
           local_delivered += d - c.delivered;
           c.delivered = d;
-          if (mode_ == Mode::kSame && !c.screened) screen_cell(i);
-          if (c.watched) update_provisional(i, found[wid]);
+          if (mode_ == Mode::kSame && !c.screened) {
+            screen_cell(i, analyzer, screen_stats);
+          }
+          if (c.watched) update_provisional(i, analyzer, found[wid]);
         }
       }
       delivered.fetch_add(local_delivered, std::memory_order_relaxed);
@@ -417,8 +455,9 @@ FleetResult StreamingFleet::finalize() {
     return [&] {
       probe::ProbeScratch scratch;
       recon::BlockStream cpass;
-      recon::DegradedReconResult classify_dr;
-      recon::DegradedReconResult detect_dr;
+      recon::DegradedReconStats classify_sr;
+      recon::DegradedReconStats detect_sr;
+      analysis::BlockAnalyzer analyzer;
       for (;;) {
         const std::size_t begin =
             next.fetch_add(kChunk, std::memory_order_relaxed);
@@ -433,37 +472,42 @@ FleetResult StreamingFleet::finalize() {
           BlockOutcome& out = result_.outcomes[i];
           switch (mode_) {
             case Mode::kSame:
-              c.stream.finalize(classify_dr);
-              classify_outcome(i, classify_dr);
+              c.stream.finalize_stats(classify_sr);
+              store_.set_len(i, classify_sr.recon.len);
+              classify_outcome(i, store_.series(i), classify_sr, analyzer);
               c.classified = true;
               if (out.cls.change_sensitive && config_.run_detection) {
-                detect_outcome(i, classify_dr.recon);
+                detect_outcome(i, store_.series(i), classify_sr.recon,
+                               analyzer);
               }
               break;
             case Mode::kUnion:
               if (!c.classified) {
                 c.stream.advance_to(classify_window_.end);
-                c.stream.finalize_classify(classify_dr);
-                classify_outcome(i, classify_dr);
+                c.stream.finalize_classify_stats(classify_sr);
+                classify_outcome(i, c.stream.classify_series(), classify_sr,
+                                 analyzer);
                 c.classified = true;
                 c.active =
                     out.cls.change_sensitive && config_.run_detection;
               }
               if (c.active) {
-                c.stream.finalize(detect_dr);
-                detect_outcome(i, detect_dr.recon);
+                c.stream.finalize_stats(detect_sr);
+                store_.set_len(i, detect_sr.recon.len);
+                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
               }
               break;
             case Mode::kSeparate:
               if (!c.classified) {
                 cpass.begin(block, classify_oc_, scratch);
-                cpass.finalize(classify_dr);
-                classify_outcome(i, classify_dr);
+                cpass.finalize_stats(classify_sr);
+                classify_outcome(i, cpass.series(), classify_sr, analyzer);
                 c.classified = true;
               }
               if (out.cls.change_sensitive && config_.run_detection) {
-                c.stream.finalize(detect_dr);
-                detect_outcome(i, detect_dr.recon);
+                c.stream.finalize_stats(detect_sr);
+                store_.set_len(i, detect_sr.recon.len);
+                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
               }
               break;
           }

@@ -27,10 +27,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "analysis/block_analyzer.h"
 #include "analysis/cusum.h"
 #include "core/pipeline.h"
+#include "core/series_store.h"
 #include "recon/stream.h"
 
 namespace diurnal::core {
@@ -114,11 +117,16 @@ class StreamingFleet {
     std::size_t reported = 0;  ///< confirmed changes already surfaced
   };
 
-  void classify_outcome(std::size_t i, const recon::DegradedReconResult& dr);
-  void detect_outcome(std::size_t i, const recon::ReconResult& recon);
+  void classify_outcome(std::size_t i, std::span<const double> counts,
+                        const recon::DegradedReconStats& ds,
+                        analysis::BlockAnalyzer& az);
+  void detect_outcome(std::size_t i, std::span<const double> counts,
+                      const recon::ReconStats& stats,
+                      analysis::BlockAnalyzer& az);
   void begin_cell(std::size_t i, probe::ProbeScratch& scratch);
-  void screen_cell(std::size_t i);
-  void update_provisional(std::size_t i,
+  void screen_cell(std::size_t i, analysis::BlockAnalyzer& az,
+                   recon::ReconStats& stats);
+  void update_provisional(std::size_t i, analysis::BlockAnalyzer& az,
                           std::vector<ProvisionalChange>& out);
   void finish_result();
 
@@ -133,6 +141,10 @@ class StreamingFleet {
   unsigned threads_ = 1;
 
   FleetResult result_;
+  /// Columnar destination for detection-window series: rows are bound
+  /// to each block's reconstruction before it runs, then moved into
+  /// result_.series by finish_result().
+  SeriesStore store_;
   bool finished_ = false;
 
   // Incremental drive state.

@@ -1,12 +1,15 @@
 #include "probe/additional_selection.h"
 
+#include <array>
 #include <stdexcept>
 
 namespace diurnal::probe {
 
 namespace {
 
-std::vector<double> features_of(int eb_count, double availability) {
+constexpr std::size_t kFeatureDim = 2;  ///< |E(b)| and availability
+
+std::array<double, kFeatureDim> features_of(int eb_count, double availability) {
   return {static_cast<double>(eb_count), availability};
 }
 
@@ -19,15 +22,16 @@ void AdditionalProbingSelector::fit(
     throw std::invalid_argument("AdditionalProbingSelector::fit: no samples");
   }
   opt_ = opt;
-  std::vector<std::vector<double>> x;
+  std::vector<double> x;  // flat row-major, kFeatureDim per sample
   std::vector<int> y;
-  x.reserve(samples.size());
+  x.reserve(samples.size() * kFeatureDim);
   y.reserve(samples.size());
   for (const auto& s : samples) {
-    x.push_back(features_of(s.eb_count, s.availability));
+    const auto f = features_of(s.eb_count, s.availability);
+    x.insert(x.end(), f.begin(), f.end());
     y.push_back(s.observed_fbs_hours > opt.fbs_goal_hours ? 1 : 0);
   }
-  model_.fit(x, y, opt.fit);
+  model_.fit(analysis::FeatureMatrix{x, kFeatureDim}, y, opt.fit);
 }
 
 bool AdditionalProbingSelector::should_probe(int eb_count,

@@ -55,6 +55,14 @@ void observe_and_reconstruct_degraded(const sim::BlockProfile& block,
                                       probe::ProbeScratch& scratch,
                                       DegradedReconResult& out);
 
+/// DegradedReconResult with the series externalized (core::SeriesStore
+/// rows): statistics plus observer stream info only.  Reused across
+/// blocks like the scratch buffers.
+struct DegradedReconStats {
+  ReconStats recon;
+  std::vector<fault::ObserverStreamInfo> observers;
+};
+
 /// Same, but also returns each observer's own single-site reconstruction
 /// (used by the loss study of section 3.3 and the health check).
 struct PerObserverRecon {

@@ -28,6 +28,7 @@ void BlockReconState::begin(int eb_count, probe::ProbeWindow window,
                   : static_cast<std::size_t>(
                         (duration_ + opt.sample_step - 1) / opt.sample_step);
   samples_.assign(n_samples_, 0.0);
+  bound_ = {};
   // Per-address state: -1 unknown, 0 down, 1 up.
   state_.fill(-1);
   last_seen_.fill(-1);
@@ -80,8 +81,100 @@ void BlockReconState::finalize(ReconResult& out) {
   out.max_gap_seconds = max_gap_seconds_;
   out.gaps = std::move(gaps_);
   out.fbs_spans_seconds = std::move(fbs_spans_);
-  out.counts =
-      util::TimeSeries(window_.start, opt_.sample_step, std::move(samples_));
+  if (bound_.empty()) {
+    out.counts =
+        util::TimeSeries(window_.start, opt_.sample_step, std::move(samples_));
+  } else {
+    // Bound output stays in the external buffer; the legacy result gets
+    // a copy so both views agree.
+    out.counts = util::TimeSeries(
+        window_.start, opt_.sample_step,
+        std::vector<double>(bound_.begin(), bound_.begin() + n_samples_));
+  }
+}
+
+void BlockReconState::finalize_stats(ReconStats& out) {
+  out.eb_count = eb_count_;
+  out.start = window_.start;
+  out.step = std::max<std::int64_t>(opt_.sample_step, 1);
+  out.len = 0;
+  out.responsive = false;
+  out.mean_reply_rate = 0.0;
+  out.observations = 0;
+  out.observed_targets = 0;
+  out.max_active = 0.0;
+  out.evidence_fraction = 0.0;
+  out.max_gap_seconds = 0.0;
+  out.gaps.clear();
+  out.fbs_spans_seconds.clear();
+  if (degenerate_) return;
+  emit_until(duration_);
+  note_gap(duration_);
+  out.step = opt_.sample_step;
+  out.len = n_samples_;
+  out.evidence_fraction =
+      n_samples_ == 0 ? 0.0
+                      : static_cast<double>(fresh_samples_) /
+                            static_cast<double>(n_samples_);
+  out.observations = observations_;
+  out.observed_targets = observed_;
+  out.responsive = positives_ > 0;
+  out.mean_reply_rate =
+      observations_ == 0 ? 0.0
+                         : static_cast<double>(positives_) /
+                               static_cast<double>(observations_);
+  out.max_active = max_active_;
+  out.max_gap_seconds = max_gap_seconds_;
+  // Swap instead of copy: `out` keeps the data, the state inherits the
+  // old capacity for the next begin().
+  std::swap(out.gaps, gaps_);
+  std::swap(out.fbs_spans_seconds, fbs_spans_);
+}
+
+void BlockReconState::snapshot_stats(ReconStats& out) const {
+  out.eb_count = eb_count_;
+  out.start = window_.start;
+  out.step = std::max<std::int64_t>(opt_.sample_step, 1);
+  out.len = 0;
+  out.responsive = false;
+  out.mean_reply_rate = 0.0;
+  out.observations = 0;
+  out.observed_targets = 0;
+  out.max_active = 0.0;
+  out.evidence_fraction = 0.0;
+  out.max_gap_seconds = 0.0;
+  out.gaps.clear();
+  out.fbs_spans_seconds.clear();
+  if (degenerate_) return;
+  // Replays what finalize() would compute on a copy truncated to the
+  // emitted-sample prefix (snapshot() semantics): emit_until() is a
+  // no-op on the truncated copy, so only the trailing note_gap() and
+  // the evidence denominator change.
+  const std::size_t len = next_sample_;
+  const std::int64_t duration =
+      static_cast<std::int64_t>(len) * opt_.sample_step;
+  out.step = opt_.sample_step;
+  out.len = len;
+  out.evidence_fraction = len == 0 ? 0.0
+                                   : static_cast<double>(fresh_samples_) /
+                                         static_cast<double>(len);
+  out.observations = observations_;
+  out.observed_targets = observed_;
+  out.responsive = positives_ > 0;
+  out.mean_reply_rate =
+      observations_ == 0 ? 0.0
+                         : static_cast<double>(positives_) /
+                               static_cast<double>(observations_);
+  out.max_active = max_active_;
+  out.fbs_spans_seconds.assign(fbs_spans_.begin(), fbs_spans_.end());
+  out.gaps.assign(gaps_.begin(), gaps_.end());
+  const std::int64_t from = std::max<std::int64_t>(last_obs_rel_, 0);
+  if (duration - from > opt_.stale_horizon) {
+    out.gaps.push_back(
+        CoverageGap{window_.start + from, window_.start + duration});
+  }
+  out.max_gap_seconds =
+      std::max(max_gap_seconds_, static_cast<double>(duration - from));
 }
 
 void BlockReconState::snapshot(ReconResult& out) const {

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "probe/prober.h"
@@ -66,6 +67,27 @@ struct ReconResult {
   double fbs_quantile_seconds(double q) const;
 };
 
+/// ReconResult minus the sample storage: every statistic of a
+/// reconstruction plus the (start, step, len) geometry of its series.
+/// Used with externally bound sample storage (core::SeriesStore rows),
+/// where the series lives in the store and only the numbers travel.
+/// Reusable across blocks — gaps/fbs capacity is recycled.
+struct ReconStats {
+  util::SimTime start = 0;   ///< series start time
+  std::int64_t step = 1;     ///< series sampling step (>= 1)
+  std::size_t len = 0;       ///< samples in the series
+  bool responsive = false;
+  double mean_reply_rate = 0.0;
+  std::size_t observations = 0;
+  int eb_count = 0;
+  int observed_targets = 0;
+  double max_active = 0.0;
+  std::vector<double> fbs_spans_seconds;
+  double evidence_fraction = 0.0;
+  double max_gap_seconds = 0.0;
+  std::vector<CoverageGap> gaps;
+};
+
 /// Resumable reconstruction state machine: the whole-window
 /// reconstruct() loop carved into begin / push / finalize so the
 /// streaming pipeline can feed merged observations as they clear the
@@ -79,6 +101,24 @@ class BlockReconState {
   /// Re-initializes for one block, reusing the sample buffer.
   void begin(int eb_count, probe::ProbeWindow window,
              const ReconOptions& opt = {});
+
+  /// Redirects sample emission into an external buffer (a
+  /// core::SeriesStore row).  Call immediately after begin(); `out`
+  /// must outlive the state and hold at least emitted-capacity()
+  /// samples (the store's stride is sized for the window).  The bound
+  /// prefix is zero-filled here, matching begin()'s own buffer.
+  void bind_output(std::span<double> out) {
+    bound_ = out;
+    std::fill_n(bound_.begin(), n_samples_, 0.0);
+  }
+
+  /// The full sample buffer for this block (owned or bound).  Only the
+  /// emitted() prefix is meaningful mid-stream; after finalize_stats()
+  /// the whole view is.
+  std::span<const double> series_view() const noexcept {
+    return bound_.empty() ? std::span<const double>(samples_)
+                          : std::span<const double>(bound_.data(), n_samples_);
+  }
 
   /// Feeds the next merged observation (rel_time non-decreasing).
   /// Observations pacing past the window end are tolerated, exactly as
@@ -122,6 +162,19 @@ class BlockReconState {
   /// untouched.
   void snapshot(ReconResult& out) const;
 
+  /// finalize() without materializing the series: emits the trailing
+  /// samples into the owned/bound buffer and fills `out` with the
+  /// statistics only (recycling its gaps/fbs capacity).  The series
+  /// itself stays where it was written — read it via series_view() or
+  /// the bound store row.  The state is spent afterwards.
+  void finalize_stats(ReconStats& out);
+
+  /// snapshot() without the series copy: statistics truncated to the
+  /// emitted-sample prefix, computed exactly as a truncated finalize
+  /// would.  The state is untouched; the emitted prefix of
+  /// series_view() is the matching series.
+  void snapshot_stats(ReconStats& out) const;
+
   /// Number of samples emitted so far (the stable prefix of samples()).
   std::size_t emitted() const noexcept { return next_sample_; }
   const std::vector<double>& samples() const noexcept { return samples_; }
@@ -129,11 +182,12 @@ class BlockReconState {
 
  private:
   void emit_until(std::int64_t rel_time) {
+    double* const dst = bound_.empty() ? samples_.data() : bound_.data();
     while (next_sample_ < n_samples_ &&
            static_cast<std::int64_t>(next_sample_) * opt_.sample_step <=
                rel_time) {
-      samples_[next_sample_] = static_cast<double>(active_);
-      max_active_ = std::max(max_active_, samples_[next_sample_]);
+      dst[next_sample_] = static_cast<double>(active_);
+      max_active_ = std::max(max_active_, dst[next_sample_]);
       if (static_cast<std::int64_t>(next_sample_) * opt_.sample_step -
               last_obs_rel_ <=
           opt_.stale_horizon) {
@@ -159,6 +213,7 @@ class BlockReconState {
   std::int64_t duration_ = 0;
   std::size_t n_samples_ = 0;
   std::vector<double> samples_;
+  std::span<double> bound_{};  ///< external output, empty = use samples_
   std::array<std::int8_t, 256> state_{};
   std::array<std::int64_t, 256> last_seen_{};
   int active_ = 0;

@@ -159,8 +159,7 @@ void BlockStream::fill_observers(
   }
 }
 
-void BlockStream::finalize_classify(DegradedReconResult& out) {
-  assert(classify_pending_);
+void BlockStream::drain_classify_tail() {
   // Every ingested round starts before classify_end, so each stream's
   // buffered tail already holds its final classification-window values:
   // a repair flip needs a rescan, and any rescan inside the
@@ -187,7 +186,20 @@ void BlockStream::finalize_classify(DegradedReconResult& out) {
     classify_recon_.push(s.buf[cursor[best] - s.base]);
     ++cursor[best];
   }
+}
+
+void BlockStream::finalize_classify(DegradedReconResult& out) {
+  assert(classify_pending_);
+  drain_classify_tail();
   classify_recon_.finalize(out.recon);
+  fill_observers(out.observers);
+  classify_pending_ = false;
+}
+
+void BlockStream::finalize_classify_stats(DegradedReconStats& out) {
+  assert(classify_pending_);
+  drain_classify_tail();
+  classify_recon_.finalize_stats(out.recon);
   fill_observers(out.observers);
   classify_pending_ = false;
 }
@@ -199,6 +211,16 @@ void BlockStream::finalize(DegradedReconResult& out) {
   }
   pump();
   recon_.finalize(out.recon);
+  fill_observers(out.observers);
+}
+
+void BlockStream::finalize_stats(DegradedReconStats& out) {
+  advance_to(config_->window.end);
+  if (config_->one_loss_repair) {
+    for (Stream& s : streams_) s.released = s.repair.finish();
+  }
+  pump();
+  recon_.finalize_stats(out.recon);
   fill_observers(out.observers);
 }
 

@@ -21,6 +21,8 @@
 //     (BlockReconState).
 #pragma once
 
+#include <span>
+
 #include "fault/inject.h"
 #include "probe/prober.h"
 #include "recon/block_recon.h"
@@ -46,6 +48,21 @@ class BlockStream {
              const BlockObservationConfig& config, probe::ProbeScratch& scratch,
              util::SimTime classify_end = 0);
 
+  /// Redirects the detection-window reconstruction's samples into an
+  /// external buffer (a core::SeriesStore row).  Call right after
+  /// begin(); the buffer must outlive the pass.
+  void bind_series(std::span<double> out) { recon_.bind_output(out); }
+
+  /// The detection-window sample buffer (bound row or internal); only
+  /// the emitted prefix is meaningful before finalize.
+  std::span<const double> series() const noexcept {
+    return recon_.series_view();
+  }
+  /// Union-window mode: the classification-window sample buffer.
+  std::span<const double> classify_series() const noexcept {
+    return classify_recon_.series_view();
+  }
+
   /// Ingests every probing round starting before min(until, window
   /// end) across all observers, then releases merged observations to
   /// the reconstruction(s) as far as the repair lookahead and merge
@@ -68,9 +85,17 @@ class BlockStream {
   /// hold-until-rescanned carryover the detection stream keeps pending.
   void finalize_classify(DegradedReconResult& out);
 
+  /// finalize_classify() with the series left in place: statistics go
+  /// to `out`, samples stay readable via classify_series().
+  void finalize_classify_stats(DegradedReconStats& out);
+
   /// Drains everything (remaining rounds, held repairs, pending merge
   /// heads) and produces the full-window result.
   void finalize(DegradedReconResult& out);
+
+  /// finalize() with the series left in place (bound store row or the
+  /// internal buffer, readable via series()).
+  void finalize_stats(DegradedReconStats& out);
 
   /// Post-fault observations delivered by all observers so far.
   std::size_t delivered_observations() const noexcept { return delivered_; }
@@ -100,6 +125,7 @@ class BlockStream {
   };
 
   void pump();
+  void drain_classify_tail();
   void fill_observers(std::vector<fault::ObserverStreamInfo>& out) const;
 
   const sim::BlockProfile* block_ = nullptr;

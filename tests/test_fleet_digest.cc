@@ -6,6 +6,11 @@
 // behavior change in probe/repair/merge/reconstruct/classify/detect
 // shows up as a different hex string.  The golden value is shared with
 // the bench-smoke CI gate (bench/common.cc).
+//
+// Suite size note: the full ctest suite is 383 tests as of the
+// span-kernel layer (tests/test_analysis_kernels.cc adds 19); if a
+// refactor drops registered tests, this gate may still pass while
+// coverage silently shrank -- check tests/CMakeLists.txt.
 #include <gtest/gtest.h>
 
 #include "core/digest.h"

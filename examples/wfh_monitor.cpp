@@ -16,6 +16,7 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "geo/countries.h"
+#include "util/table.h"
 
 using namespace diurnal;
 
@@ -52,7 +53,8 @@ int main(int argc, char** argv) {
   core::ValidationConfig vc;
   vc.window = fc.dataset.window();
   const auto v = core::validate_sample(world, fleet, vc);
-  std::printf("\nsampled-block validation: precision %.0f%%, recall %.0f%%\n",
-              v.precision() * 100, v.recall() * 100);
+  std::printf("\nsampled-block validation: precision %s, recall %s\n",
+              util::fmt_pct(v.precision(), 0).c_str(),
+              util::fmt_pct(v.recall(), 0).c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,16 @@
 #include "sim/world.h"
 
 namespace diurnal::core {
+
+/// num/denom as a double, or nullopt when the denominator is zero.  The
+/// shared guard for precision/recall-style rates: an empty sample must
+/// surface as "undefined", never as 0/0 quietly becoming NaN (or a
+/// misleading 0.0) and propagating through aggregate arithmetic.
+inline std::optional<double> safe_ratio(std::int64_t num,
+                                        std::int64_t denom) noexcept {
+  if (denom == 0) return std::nullopt;
+  return static_cast<double>(num) / static_cast<double>(denom);
+}
 
 /// Verdict for one sampled block (mirrors the rows of Table 5).
 enum class BlockVerdict {
@@ -67,13 +78,14 @@ struct SampleValidation {
   int low_evidence_changes = 0;
   int low_confidence_blocks = 0;
 
-  double precision() const noexcept {
-    const int denom = true_positive + false_positive;
-    return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+  /// nullopt when no detection landed near a WFH date (nothing to be
+  /// precise about) — callers must not fold that into a 0% rate.
+  std::optional<double> precision() const noexcept {
+    return safe_ratio(true_positive, true_positive + false_positive);
   }
-  double recall() const noexcept {
-    const int denom = true_positive + false_negative;
-    return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+  /// nullopt when the sample holds no ground-truth change.
+  std::optional<double> recall() const noexcept {
+    return safe_ratio(true_positive, true_positive + false_negative);
   }
 };
 

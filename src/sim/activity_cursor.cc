@@ -329,12 +329,21 @@ void ActivityCursor::refresh_outage(SimTime t) noexcept {
 void ActivityCursor::refresh_epoch(AddrState& s, int addr,
                                    bool home) noexcept {
   const std::uint64_t stagger = schedule::epoch_stagger(s.h1);
-  const std::int64_t epoch = schedule::epoch_of_day(clock_day_, stagger);
+  std::int64_t epoch = schedule::epoch_of_day(clock_day_, stagger);
   const std::int64_t stag_mod =
       static_cast<std::int64_t>(stagger % schedule::kEpochDays);
   s.epoch_from =
       static_cast<std::int32_t>(epoch * schedule::kEpochDays - stag_mod);
-  s.dormant = schedule::epoch_dormant(s.h1, epoch);
+  if (block_->stable_population) {
+    // Frozen population: the oracle pins every device to epoch 0 and
+    // never marks it dormant (see device_epoch); epoch_from still
+    // tracks the 21-day refresh window so the cache invalidates the
+    // same way either way.
+    epoch = 0;
+    s.dormant = false;
+  } else {
+    s.dormant = schedule::epoch_dormant(s.h1, epoch);
+  }
   if (s.dormant) return;
   if (home) {
     s.open_hour = static_cast<std::uint8_t>(

@@ -66,8 +66,9 @@ struct DeviceEpoch {
   bool dormant;
 };
 
-DeviceEpoch device_epoch(std::uint64_t seed, int addr,
+DeviceEpoch device_epoch(const BlockProfile& b, std::uint64_t seed, int addr,
                          std::int64_t local_day) noexcept {
+  if (b.stable_population) return DeviceEpoch{0, false};
   const std::int64_t epoch =
       schedule::epoch_of_day(local_day, schedule::epoch_stagger(seed, addr));
   return DeviceEpoch{epoch, schedule::epoch_dormant(seed, addr, epoch)};
@@ -77,7 +78,7 @@ DeviceEpoch device_epoch(std::uint64_t seed, int addr,
 bool workday_device_active(const BlockProfile& b, std::uint64_t seed, int addr,
                            const LocalClock& lc, double attendance_scale,
                            double weekend_attendance) noexcept {
-  const auto ep = device_epoch(seed, addr, lc.day);
+  const auto ep = device_epoch(b, seed, addr, lc.day);
   if (ep.dormant) return false;
   const auto hours = schedule::work_hours(seed, ep.epoch, addr);
   if (lc.hour < hours.arrival || lc.hour >= hours.departure) return false;
@@ -91,7 +92,7 @@ bool workday_device_active(const BlockProfile& b, std::uint64_t seed, int addr,
 bool home_device_active(const BlockProfile& b, std::uint64_t seed, int addr,
                         const LocalClock& lc, bool wfh_boost,
                         double presence_scale) noexcept {
-  const auto ep = device_epoch(seed, addr, lc.day);
+  const auto ep = device_epoch(b, seed, addr, lc.day);
   if (ep.dormant) return false;
   const int evening_start = schedule::evening_start_hour(seed, ep.epoch, addr);
   const bool weekend = !lc.workday;

@@ -69,6 +69,10 @@ struct BlockProfile {
   std::uint64_t seed = 0;
   float base_attendance = 0.93f;  ///< workday presence probability
 
+  /// Mirrors WorldConfig::stable_population: devices keep their epoch-0
+  /// schedule and never go dormant (no 21-day population churn).
+  bool stable_population = false;
+
   /// Fraction of the (non-always-on) E(b) targets currently in use.
   /// E(b) is "ever responded in three years", so much of it is stale:
   /// the paper's Figure 1a block has |E(b)| = 88 but only 8-18 active.

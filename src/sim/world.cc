@@ -64,6 +64,7 @@ BlockProfile World::make_block(net::BlockId id, std::uint64_t block_seed) {
   BlockProfile b;
   b.id = id;
   b.seed = util::mix64(block_seed);
+  b.stable_population = config_.stable_population;
 
   const std::size_t ci = config_.only_country
                              ? geo::country_index(*config_.only_country)
@@ -136,11 +137,11 @@ BlockProfile World::make_block(net::BlockId id, std::uint64_t block_seed) {
       b.category == BlockCategory::kMixed) {
     const auto span =
         static_cast<double>(config_.horizon_end - config_.horizon_start);
-    if (rng.chance(0.08)) {
+    if (rng.chance(config_.occupancy_churn)) {
       b.occupied_from = config_.horizon_start +
                         static_cast<SimTime>(rng.uniform(0.1, 0.9) * span);
     }
-    if (rng.chance(0.08)) {
+    if (rng.chance(config_.occupancy_churn)) {
       b.occupied_until = config_.horizon_start +
                          static_cast<SimTime>(rng.uniform(0.1, 0.9) * span);
     }

@@ -43,6 +43,20 @@ struct WorldConfig {
   /// Probability a block is renumbered once within the horizon.
   double renumber_probability = 0.015;
 
+  /// Probability that a human-populated block's occupancy window opens
+  /// (and, independently, closes) inside the horizon — the section 3.2.2
+  /// duration effect.  Validation scenarios that need a world whose only
+  /// activity changes are the planted calendar events set this to 0.
+  double occupancy_churn = 0.08;
+
+  /// Freeze the device population: no 21-day epoch churn (dormancy or
+  /// schedule drift) — every device keeps its epoch-0 schedule for the
+  /// whole horizon.  Validation negative controls set this so the only
+  /// multi-day activity shifts in the world are planted events; real
+  /// populations churn (the paper's duration effect), so it defaults
+  /// off.
+  bool stable_population = false;
+
   /// Simulated horizon (events and outages are materialized within it).
   util::SimTime horizon_start = 0;                              // 2019-10-01
   util::SimTime horizon_end = util::time_of(2020, 7, 1);

@@ -86,4 +86,8 @@ std::string fmt_pct(double ratio, int decimals) {
   return fmt(ratio * 100.0, decimals) + "%";
 }
 
+std::string fmt_pct(std::optional<double> ratio, int decimals) {
+  return ratio ? fmt_pct(*ratio, decimals) : "n/a";
+}
+
 }  // namespace diurnal::util

@@ -2,6 +2,7 @@
 // plain-text rows so they can be diffed between runs).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,5 +45,8 @@ std::string fmt_count(std::int64_t v);
 
 /// Formats a ratio as a percentage string ("93.0%").
 std::string fmt_pct(double ratio, int decimals = 1);
+
+/// Undefined-rate form: "n/a" for nullopt (zero-denominator rates).
+std::string fmt_pct(std::optional<double> ratio, int decimals = 1);
 
 }  // namespace diurnal::util

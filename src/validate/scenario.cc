@@ -1,0 +1,245 @@
+#include "validate/scenario.h"
+
+#include "geo/gridcell.h"
+#include "util/date.h"
+
+namespace diurnal::validate {
+
+namespace {
+
+using util::Date;
+using util::time_of;
+
+// All synthetic scenarios probe 2020m1 (Jan 1 .. Jan 29): long enough
+// for two STL periods of baseline before a mid-January event, short
+// enough that the whole catalog runs in CI time.  Events are planted
+// inside [start + 7d, end - 4d] so they are eligible truth.
+constexpr char kDataset[] = "2020m1-ejnw";
+
+/// A world whose ONLY activity changes are the planted calendar events:
+/// no occupancy churn, no outages, no renumbering, no special-case
+/// blocks, and a boosted diurnal share so a few hundred blocks yield a
+/// statistically useful population of change-sensitive ones.
+sim::WorldConfig quiet_world(std::uint64_t seed, int blocks,
+                             const char* only_country) {
+  sim::WorldConfig w;
+  w.seed = seed;
+  w.num_blocks = blocks;
+  w.include_special_blocks = false;
+  if (only_country != nullptr) w.only_country = only_country;
+  w.diurnal_scale = 0.30;
+  w.occupancy_churn = 0.0;
+  w.stable_population = true;
+  w.outage_rate_per_90d = 0.0;
+  w.renumber_probability = 0.0;
+  w.quiet_calendar = true;  // scenarios plant calendars explicitly
+  return w;
+}
+
+sim::Event wfh(const char* cc, Date start, double adoption) {
+  sim::Event e;
+  e.kind = sim::EventKind::kWorkFromHome;
+  e.name = std::string("planted-wfh-") + cc;
+  e.scope.country_code = cc;
+  e.start = time_of(start);
+  e.end = time_of(2020, 7, 1);  // persists past the analysis window
+  e.adoption = adoption;
+  e.residual_attendance = 0.10;
+  return e;
+}
+
+sim::Event holiday(const char* cc, Date start, Date end, double adoption) {
+  sim::Event e;
+  e.kind = sim::EventKind::kHoliday;
+  e.name = std::string("planted-holiday-") + cc;
+  e.scope.country_code = cc;
+  e.start = time_of(start);
+  e.end = time_of(end);
+  e.adoption = adoption;
+  e.residual_attendance = 0.08;
+  return e;
+}
+
+sim::Event curfew(const char* cc, geo::GridCell cell, Date start, Date end,
+                  double adoption) {
+  sim::Event e;
+  e.kind = sim::EventKind::kCurfewUnrest;
+  e.name = std::string("planted-curfew-") + cc;
+  e.scope.country_code = cc;
+  e.scope.cell = cell;
+  e.start = time_of(start);
+  e.end = time_of(end);
+  e.adoption = adoption;
+  e.residual_attendance = 0.15;
+  return e;
+}
+
+std::vector<Scenario> build_catalog() {
+  std::vector<Scenario> v;
+
+  {
+    Scenario s;
+    s.name = "clean_diurnal";
+    s.title = "healthy diurnal world, no events planted: must stay silent";
+    s.world = quiet_world(101, 400, "US");
+    s.dataset = kDataset;
+    s.expect_zero_truth = true;
+    s.expect_zero_confirmed = true;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wfh_step";
+    s.title = "nationwide WFH step on 2020-01-15 (office/university drop)";
+    s.world = quiet_world(102, 500, "US");
+    s.world.calendar.push_back(wfh("US", Date{2020, 1, 15}, 0.65));
+    s.dataset = kDataset;
+    s.precision_floor = 0.8;
+    s.recall_floor = 0.4;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "holiday_dip";
+    s.title = "week-long holiday Jan 12-19 (dip and recovery both truth)";
+    s.world = quiet_world(103, 500, "CN");
+    s.world.calendar.push_back(
+        holiday("CN", Date{2020, 1, 12}, Date{2020, 1, 19}, 0.9));
+    s.dataset = kDataset;
+    s.precision_floor = 0.8;
+    // Recall here is bounded by the raw-outage cross-check: a deep
+    // week-long dip flickers above the blackout threshold, producing
+    // short bounded low-runs that straddle the down/up excursion pair,
+    // so the section 2.6 filter discards many genuine dip+recovery
+    // detections (98 of them in the baseline run).  The paper has the
+    // same tension — its outage filter trades holiday recall for outage
+    // precision — so the floor reflects the pipeline as specified, not a
+    // harness defect.
+    s.recall_floor = 0.35;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "curfew_geo";
+    s.title = "curfew scoped to the Delhi gridcell: truth only in-cell";
+    s.world = quiet_world(104, 600, "IN");
+    s.world.calendar.push_back(curfew("IN", geo::GridCell::of(28.6, 77.2),
+                                      Date{2020, 1, 12}, Date{2020, 1, 19},
+                                      0.6));
+    s.dataset = kDataset;
+    // Dense single-city worlds detect plenty of sub-threshold activity
+    // shifts in the out-of-cell population (measured ~72% precision /
+    // 66% recall); the floors bound regression, not the paper's
+    // country-scale figures.
+    s.precision_floor = 0.65;
+    s.recall_floor = 0.5;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "paired_outage";
+    s.title = "outage/renumbering storm, no events: pair filter must absorb";
+    s.world = quiet_world(105, 400, "US");
+    // Compress the horizon around the analysis window so the planted
+    // outages and renumberings actually land inside it (by default they
+    // are drawn across nine months and mostly miss the four probed
+    // weeks), and renumber nearly every block: this is the scenario that
+    // exercises the section 2.6 pair-discard path.
+    s.world.horizon_start = time_of(2020, 1, 1);
+    s.world.horizon_end = time_of(2020, 2, 15);
+    s.world.outage_rate_per_90d = 12.0;
+    s.world.renumber_probability = 0.9;
+    s.dataset = kDataset;
+    s.expect_zero_truth = true;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wfh_dropout";
+    s.title = "the WFH step probed by a fleet losing one observer";
+    s.world = quiet_world(102, 500, "US");  // identical to wfh_step
+    s.world.calendar.push_back(wfh("US", Date{2020, 1, 15}, 0.65));
+    s.dataset = kDataset;
+    s.fault_scenario = "dropout";
+    s.precision_floor = 0.7;
+    s.clean_counterpart = "wfh_step";
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wfh_bursts";
+    s.title = "the WFH step probed through bursty loss (evidence destroyed)";
+    s.world = quiet_world(102, 500, "US");  // identical to wfh_step
+    s.world.calendar.push_back(wfh("US", Date{2020, 1, 15}, 0.65));
+    s.dataset = kDataset;
+    s.fault_scenario = "bursts";
+    s.precision_floor = 0.7;
+    s.clean_counterpart = "wfh_step";
+    // Bursty loss degrades whole blocks out of the scored set, so the
+    // recall *ratio* is computed over a different denominator than the
+    // clean run's and is not comparable; the scored-truth bound still
+    // applies (see check_fault_invariants).
+    s.faults_monotone_recall = false;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wfh_meltdown";
+    s.title = "the WFH step under every fault class at once";
+    s.world = quiet_world(102, 500, "US");  // identical to wfh_step
+    s.world.calendar.push_back(wfh("US", Date{2020, 1, 15}, 0.65));
+    s.dataset = kDataset;
+    s.fault_scenario = "meltdown";
+    s.precision_floor = 0.7;
+    s.clean_counterpart = "wfh_step";
+    // Meltdown includes skew faults, which relocate rather than destroy
+    // evidence; the recall bound does not hold (see Scenario).
+    s.faults_monotone_recall = false;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "quiet_calendar";
+    s.title = "default world mix, quiet calendar: the negative control";
+    s.world = quiet_world(107, 600, nullptr);
+    // Keep the default world's measurement noise — outages and
+    // renumbering still happen — but plant no human-activity events, so
+    // any confirmed change is threshold drift by construction.
+    s.world.diurnal_scale = 0.055;
+    s.world.outage_rate_per_90d = 0.06;
+    s.world.renumber_probability = 0.015;
+    s.dataset = kDataset;
+    s.expect_zero_truth = true;
+    s.expect_zero_confirmed = true;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "golden_mix";
+    s.title = "the golden-digest world (real calendar): perf/accuracy anchor";
+    s.world = sim::WorldConfig{};  // the bench_fleet reference world
+    s.world.seed = 1;
+    s.world.num_blocks = 2000;
+    s.dataset = kDataset;
+    // Default pipeline config, so the digest matches the perf gate's.
+    s.additional_observations = false;
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& catalog() {
+  static const std::vector<Scenario> v = build_catalog();
+  return v;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const auto& s : catalog()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace diurnal::validate

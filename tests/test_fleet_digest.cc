@@ -7,16 +7,19 @@
 // shows up as a different hex string.  The golden value is shared with
 // the bench-smoke CI gate (bench/common.cc).
 //
-// Suite size note: the full ctest suite is 383 tests as of the
-// span-kernel layer (tests/test_analysis_kernels.cc adds 19); if a
-// refactor drops registered tests, this gate may still pass while
-// coverage silently shrank -- check tests/CMakeLists.txt.
+// Suite size note: the full ctest suite is 403 tests as of the
+// validation harness (tests/test_validate.cc adds 19, plus the
+// golden_mix cross-pin below); if a refactor drops registered tests,
+// this gate may still pass while coverage silently shrank -- check
+// tests/CMakeLists.txt.
 #include <gtest/gtest.h>
 
 #include "core/digest.h"
 #include "core/pipeline.h"
 #include "fault/fault_plan.h"
 #include "sim/world.h"
+#include "validate/harness.h"
+#include "validate/scenario.h"
 
 namespace diurnal {
 namespace {
@@ -67,6 +70,19 @@ TEST(FleetDigest, FaultPlanRunIsThreadCountInvariant) {
   // And the degraded run must differ from the healthy golden run — the
   // digest actually sees the fault layer's effects.
   EXPECT_NE(core::digest_hex(d1), kGoldenDigest);
+}
+
+TEST(FleetDigest, ValidationGoldenMixScenarioReproducesGoldenDigest) {
+  // The validation catalog's golden_mix scenario is the same world and
+  // pipeline configuration as this file's reference run: the accuracy
+  // harness and the perf gate must stay anchored to one digest, so an
+  // accuracy "improvement" that silently changes default pipeline
+  // behavior fails here.
+  const auto* s = validate::find_scenario("golden_mix");
+  ASSERT_NE(s, nullptr);
+  const auto run = validate::run_scenario(*s, validate::Drive::kBatch, 4);
+  EXPECT_EQ(core::digest_hex(run.digest), kGoldenDigest);
+  EXPECT_TRUE(validate::check_expectations(*s, run).empty());
 }
 
 }  // namespace

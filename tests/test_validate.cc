@@ -1,0 +1,344 @@
+// Unit and metamorphic tests for the accuracy-validation harness
+// (src/validate/): the ±4-day matcher's edge behavior, scorecard
+// arithmetic on empty denominators, catalog determinism, the
+// negative-control scenarios end-to-end, and the batch≡streaming and
+// thread-count metamorphic gates the paper-facing numbers rest on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/detect.h"
+#include "util/date.h"
+#include "validate/baseline.h"
+#include "validate/harness.h"
+#include "validate/matcher.h"
+#include "validate/scenario.h"
+#include "validate/scorecard.h"
+
+namespace diurnal {
+namespace {
+
+using analysis::ChangeDirection;
+using validate::MatchOptions;
+using validate::TruthClass;
+using validate::TruthInstance;
+
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+core::DetectedChange change(util::SimTime alarm, ChangeDirection dir,
+                            double addresses = 10.0) {
+  core::DetectedChange c;
+  c.start = alarm - 6 * 3600;
+  c.alarm = alarm;
+  c.direction = dir;
+  c.amplitude = 1.0;
+  c.amplitude_addresses = addresses;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// match_block: the paper's ±4-day rule, inclusive, one-to-one.
+// ---------------------------------------------------------------------------
+
+TEST(Matcher, WindowEdgeIsInclusive) {
+  const std::vector<TruthInstance> truth = {
+      {100 * kDay, ChangeDirection::kDown, TruthClass::kWfhOnset}};
+  const MatchOptions opt;
+
+  // Exactly +4 days matches...
+  std::vector<core::DetectedChange> at_edge = {
+      change(100 * kDay + opt.match_window, ChangeDirection::kDown)};
+  auto r = validate::match_block(truth, at_edge, opt);
+  ASSERT_EQ(r.matched.size(), 1u);
+  EXPECT_EQ(r.matched[0].offset, opt.match_window);
+
+  // ...one second past does not.
+  std::vector<core::DetectedChange> past_edge = {
+      change(100 * kDay + opt.match_window + 1, ChangeDirection::kDown)};
+  r = validate::match_block(truth, past_edge, opt);
+  EXPECT_TRUE(r.matched.empty());
+  EXPECT_EQ(r.unmatched_truth.size(), 1u);
+  EXPECT_EQ(r.unmatched_changes.size(), 1u);
+
+  // And exactly -4 days matches too.
+  std::vector<core::DetectedChange> early = {
+      change(100 * kDay - opt.match_window, ChangeDirection::kDown)};
+  r = validate::match_block(truth, early, opt);
+  ASSERT_EQ(r.matched.size(), 1u);
+  EXPECT_EQ(r.matched[0].offset, -opt.match_window);
+}
+
+TEST(Matcher, OneDetectionCannotSatisfyTwoTruths) {
+  // Two planted instants two days apart, one alarm between them: the
+  // alarm is within ±4d of both but must match only the nearer one.
+  const std::vector<TruthInstance> truth = {
+      {100 * kDay, ChangeDirection::kDown, TruthClass::kWfhOnset},
+      {102 * kDay, ChangeDirection::kDown, TruthClass::kWfhOnset}};
+  const std::vector<core::DetectedChange> one = {
+      change(100 * kDay + 12 * 3600, ChangeDirection::kDown)};
+  const auto r = validate::match_block(truth, one, {});
+  ASSERT_EQ(r.matched.size(), 1u);
+  EXPECT_EQ(r.matched[0].truth, 0u);  // the nearer instant
+  EXPECT_EQ(r.unmatched_truth.size(), 1u);
+  EXPECT_EQ(r.unmatched_truth[0], 1u);
+}
+
+TEST(Matcher, NearestWinsOverFirst) {
+  // Two candidates inside the window: the nearer one is chosen even
+  // though the farther one was detected first.
+  const std::vector<TruthInstance> truth = {
+      {100 * kDay, ChangeDirection::kDown, TruthClass::kWfhOnset}};
+  const std::vector<core::DetectedChange> two = {
+      change(97 * kDay, ChangeDirection::kDown),
+      change(101 * kDay, ChangeDirection::kDown)};
+  const auto r = validate::match_block(truth, two, {});
+  ASSERT_EQ(r.matched.size(), 1u);
+  EXPECT_EQ(r.matched[0].change, 1u);
+  EXPECT_EQ(r.unmatched_changes.size(), 1u);
+}
+
+TEST(Matcher, DirectionMustAgree) {
+  const std::vector<TruthInstance> truth = {
+      {100 * kDay, ChangeDirection::kDown, TruthClass::kWfhOnset}};
+  const std::vector<core::DetectedChange> up = {
+      change(100 * kDay, ChangeDirection::kUp)};
+  const auto r = validate::match_block(truth, up, {});
+  EXPECT_TRUE(r.matched.empty());
+  EXPECT_EQ(r.unmatched_truth.size(), 1u);
+  EXPECT_EQ(r.unmatched_changes.size(), 1u);
+}
+
+TEST(Matcher, FilteredAndLowEvidenceChangesAreTalliedNotMatched) {
+  const std::vector<TruthInstance> truth = {
+      {100 * kDay, ChangeDirection::kDown, TruthClass::kWfhOnset}};
+  auto discarded = change(100 * kDay, ChangeDirection::kDown);
+  discarded.filtered_as_outage = true;
+  auto weak = change(100 * kDay, ChangeDirection::kDown);
+  weak.low_evidence = true;
+  const std::vector<core::DetectedChange> changes = {discarded, weak};
+  const auto r = validate::match_block(truth, changes, {});
+  EXPECT_TRUE(r.matched.empty());
+  EXPECT_EQ(r.outage_discards, 1);
+  EXPECT_EQ(r.low_evidence_excluded, 1);
+  EXPECT_EQ(r.unmatched_truth.size(), 1u);
+  EXPECT_TRUE(r.unmatched_changes.empty());
+}
+
+TEST(Matcher, WarmupCutoffExcludesEarlyAlarms) {
+  // An alarm before the cold-start cutoff is set aside, not a false
+  // positive; at the cutoff it is a normal candidate again.
+  const std::vector<TruthInstance> truth;
+  const util::SimTime cutoff = 10 * kDay;
+  const std::vector<core::DetectedChange> changes = {
+      change(cutoff - 1, ChangeDirection::kDown),
+      change(cutoff, ChangeDirection::kDown)};
+  const auto r = validate::match_block(truth, changes, {}, cutoff);
+  EXPECT_EQ(r.warmup_excluded, 1);
+  EXPECT_EQ(r.unmatched_changes.size(), 1u);
+  EXPECT_EQ(r.unmatched_changes[0], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scorecard arithmetic: zero denominators are nullopt, never NaN.
+// ---------------------------------------------------------------------------
+
+TEST(Scorecard, EmptyCardHasUndefinedRates) {
+  const validate::Scorecard card;
+  EXPECT_FALSE(card.precision().has_value());
+  EXPECT_FALSE(card.recall().has_value());
+  EXPECT_FALSE(card.f1().has_value());
+  EXPECT_FALSE(card.mean_abs_latency_days().has_value());
+  EXPECT_FALSE(card.of(TruthClass::kWfhOnset).recall().has_value());
+}
+
+TEST(Scorecard, PerfectCardScoresOne) {
+  validate::Scorecard card;
+  auto& tally = card.of(TruthClass::kWfhOnset);
+  tally.truth = 4;
+  tally.matched = 4;
+  tally.abs_latency_sum = 4 * kDay;
+  ASSERT_TRUE(card.precision().has_value());
+  EXPECT_DOUBLE_EQ(*card.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(*card.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(*card.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(*card.mean_abs_latency_days(), 1.0);
+}
+
+TEST(Scorecard, FalsePositivesOnlyGivesZeroPrecisionUndefinedRecall) {
+  validate::Scorecard card;
+  card.false_positive = 3;
+  ASSERT_TRUE(card.precision().has_value());
+  EXPECT_DOUBLE_EQ(*card.precision(), 0.0);
+  EXPECT_FALSE(card.recall().has_value());
+  EXPECT_FALSE(card.f1().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline serialization round-trips the whole card.
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, JsonRoundTripIsExact) {
+  validate::Baseline b;
+  validate::Scorecard card;
+  auto& tally = card.of(TruthClass::kHolidayDip);
+  tally.truth = 7;
+  tally.matched = 5;
+  tally.missed = 2;
+  tally.abs_latency_sum = 3 * kDay / 2;
+  card.blocks_scored = 12;
+  card.false_positive = 2;
+  card.fp_outage_artifact = 1;
+  card.outage_pairs_planted = 9;
+  card.outage_discards = 4;
+  card.low_evidence_excluded = 1;
+  card.truth_outside_detection = 3;
+  card.warmup_excluded = 2;
+  b.scenarios.emplace_back("round_trip",
+                           validate::make_record(card, 0xdeadbeefcafef00dULL));
+
+  const auto parsed = validate::parse_baseline(validate::to_json(b));
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  const auto* rec = parsed.find("round_trip");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->digest, "deadbeefcafef00d");
+  EXPECT_EQ(rec->score, card);
+  EXPECT_TRUE(validate::compare_to_baseline(b, parsed, 1e-9).empty());
+}
+
+TEST(Baseline, ComparatorFlagsEveryCounterDrift) {
+  validate::Baseline want;
+  validate::Scorecard card;
+  card.blocks_scored = 5;
+  want.scenarios.emplace_back("s", validate::make_record(card, 1));
+
+  validate::Baseline got = want;
+  got.scenarios[0].second.score.warmup_excluded = 1;
+  const auto mismatches = validate::compare_to_baseline(want, got, 1e-9);
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_EQ(mismatches[0].field, "warmup_excluded");
+}
+
+// ---------------------------------------------------------------------------
+// Catalog invariants.
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, HasTheContractedScenarios) {
+  const auto& cat = validate::catalog();
+  EXPECT_GE(cat.size(), 8u);
+  for (const char* name :
+       {"clean_diurnal", "wfh_step", "holiday_dip", "curfew_geo",
+        "paired_outage", "wfh_dropout", "wfh_bursts", "wfh_meltdown",
+        "quiet_calendar", "golden_mix"}) {
+    EXPECT_NE(validate::find_scenario(name), nullptr) << name;
+  }
+  EXPECT_EQ(validate::find_scenario("no_such_scenario"), nullptr);
+}
+
+TEST(Catalog, FaultedVariantsRunAfterTheirCleanCounterparts) {
+  const auto& cat = validate::catalog();
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    if (cat[i].clean_counterpart.empty()) continue;
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (cat[j].name == cat[i].clean_counterpart) seen = true;
+    }
+    EXPECT_TRUE(seen) << cat[i].name << " references "
+                      << cat[i].clean_counterpart;
+  }
+}
+
+TEST(Catalog, PlantedTruthIsDeterministic) {
+  // Same scenario, two independently built worlds: identical truth on
+  // every block (the golden baseline depends on this).
+  const auto* s = validate::find_scenario("wfh_step");
+  ASSERT_NE(s, nullptr);
+  const sim::World a(s->world);
+  const sim::World b(s->world);
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  const auto window = core::dataset(s->dataset).window();
+  std::size_t planted = 0;
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    const auto ta = validate::planted_truth(a.blocks()[i], window, s->match);
+    const auto tb = validate::planted_truth(b.blocks()[i], window, s->match);
+    ASSERT_EQ(ta.size(), tb.size()) << "block " << i;
+    for (std::size_t k = 0; k < ta.size(); ++k) {
+      EXPECT_EQ(ta[k].at, tb[k].at);
+      EXPECT_EQ(ta[k].direction, tb[k].direction);
+      EXPECT_EQ(ta[k].cls, tb[k].cls);
+    }
+    planted += ta.size();
+  }
+  EXPECT_GT(planted, 0u);  // the WFH step actually plants truth
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: negative controls and the metamorphic gates.  These run
+// the full pipeline on small scenario worlds (a few seconds total).
+// ---------------------------------------------------------------------------
+
+TEST(ValidateEndToEnd, QuietCalendarStaysSilentOnBothDrives) {
+  const auto* s = validate::find_scenario("quiet_calendar");
+  ASSERT_NE(s, nullptr);
+  const sim::World world(s->world);
+  for (const auto drive :
+       {validate::Drive::kBatch, validate::Drive::kStreaming}) {
+    const auto run = validate::run_scenario(*s, world, drive, 2);
+    EXPECT_EQ(run.score.truth_total(), 0) << validate::to_string(drive);
+    EXPECT_EQ(run.score.true_positive(), 0) << validate::to_string(drive);
+    EXPECT_EQ(run.score.false_positive, 0) << validate::to_string(drive);
+    EXPECT_EQ(run.score.low_evidence_excluded, 0)
+        << validate::to_string(drive);
+    EXPECT_TRUE(validate::check_expectations(*s, run).empty())
+        << validate::to_string(drive);
+  }
+}
+
+TEST(ValidateEndToEnd, CleanDiurnalNegativeControlPasses) {
+  const auto* s = validate::find_scenario("clean_diurnal");
+  ASSERT_NE(s, nullptr);
+  const auto run = validate::run_scenario(*s, validate::Drive::kBatch, 2);
+  EXPECT_TRUE(validate::check_expectations(*s, run).empty());
+  EXPECT_EQ(run.score.false_positive, 0);
+}
+
+TEST(ValidateEndToEnd, BatchAndStreamingScorecardsAgree) {
+  const auto* s = validate::find_scenario("wfh_step");
+  ASSERT_NE(s, nullptr);
+  const sim::World world(s->world);
+  const auto batch =
+      validate::run_scenario(*s, world, validate::Drive::kBatch, 2);
+  const auto streamed =
+      validate::run_scenario(*s, world, validate::Drive::kStreaming, 2);
+  EXPECT_EQ(batch.digest, streamed.digest);
+  EXPECT_TRUE(batch.score == streamed.score);
+}
+
+TEST(ValidateEndToEnd, ScorecardIsThreadCountInvariant) {
+  const auto* s = validate::find_scenario("wfh_step");
+  ASSERT_NE(s, nullptr);
+  const sim::World world(s->world);
+  const auto one = validate::run_scenario(*s, world, validate::Drive::kBatch, 1);
+  const auto many =
+      validate::run_scenario(*s, world, validate::Drive::kBatch, 8);
+  EXPECT_EQ(one.digest, many.digest);
+  EXPECT_TRUE(one.score == many.score);
+}
+
+TEST(ValidateEndToEnd, FaultInvariantsHoldForDropout) {
+  const auto* clean = validate::find_scenario("wfh_step");
+  const auto* faulted = validate::find_scenario("wfh_dropout");
+  ASSERT_NE(clean, nullptr);
+  ASSERT_NE(faulted, nullptr);
+  const auto clean_run =
+      validate::run_scenario(*clean, validate::Drive::kBatch, 2);
+  const auto faulted_run =
+      validate::run_scenario(*faulted, validate::Drive::kBatch, 2);
+  EXPECT_TRUE(
+      validate::check_fault_invariants(*faulted, faulted_run, clean_run)
+          .empty());
+  // The faulted run is a genuinely different pipeline execution.
+  EXPECT_NE(faulted_run.digest, clean_run.digest);
+}
+
+}  // namespace
+}  // namespace diurnal

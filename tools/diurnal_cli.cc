@@ -36,6 +36,7 @@
 #include "geo/countries.h"
 #include "recon/block_recon.h"
 #include "util/date.h"
+#include "util/table.h"
 
 using namespace diurnal;
 
@@ -199,9 +200,10 @@ int cmd_run(const Args& a) {
     vc.window = fc.dataset.window();
     const auto v = core::validate_sample(world, fleet, vc);
     std::printf("\nvalidation: %d sampled, TP %d FP %d FN %d -> "
-                "precision %.0f%% recall %.0f%%\n",
+                "precision %s recall %s\n",
                 v.total, v.true_positive, v.false_positive, v.false_negative,
-                v.precision() * 100, v.recall() * 100);
+                util::fmt_pct(v.precision(), 0).c_str(),
+                util::fmt_pct(v.recall(), 0).c_str());
   }
   if (a.out_prefix) {
     const auto paths = core::write_report(*a.out_prefix, world, fleet, agg);

@@ -6,22 +6,7 @@
 
 namespace diurnal::analysis {
 
-namespace {
-
-double tricube(double u) noexcept {
-  u = std::abs(u);
-  if (u >= 1.0) return 0.0;
-  const double t = 1.0 - u * u * u;
-  return t * t * t;
-}
-
-}  // namespace
-
-double loess_at(std::span<const double> y, double x0, const LoessOptions& opt,
-                std::span<const double> robustness) {
-  const int n = static_cast<int>(y.size());
-  if (n == 0) return 0.0;
-  if (n == 1) return y[0];
+LoessWindow loess_window(int n, double x0, const LoessOptions& opt) noexcept {
   const int q = std::max(2, opt.span);
   const int window = std::min(q, n);
 
@@ -39,10 +24,23 @@ double loess_at(std::span<const double> y, double x0, const LoessOptions& opt,
     h *= static_cast<double>(q) / static_cast<double>(n);
   }
   if (h <= 0.0) h = 1.0;
+  return LoessWindow{lo, window, h};
+}
+
+double loess_at(std::span<const double> y, double x0, const LoessOptions& opt,
+                std::span<const double> robustness) {
+  const int n = static_cast<int>(y.size());
+  if (n == 0) return 0.0;
+  if (n == 1) return y[0];
+  const LoessWindow win = loess_window(n, x0, opt);
+  const int lo = win.lo;
+  const int window = win.window;
+  const int hi = lo + window - 1;
+  const double h = win.h;
 
   double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
   for (int i = lo; i <= hi; ++i) {
-    double w = tricube((static_cast<double>(i) - x0) / h);
+    double w = tricube_weight((static_cast<double>(i) - x0) / h);
     if (!robustness.empty()) w *= robustness[static_cast<std::size_t>(i)];
     if (w <= 0.0) continue;
     const double xi = static_cast<double>(i);

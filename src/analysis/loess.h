@@ -9,6 +9,7 @@
 // interpolates in between (the standard STL speedup).
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,30 @@ struct LoessOptions {
   int degree = 1;  ///< 0 = local constant, 1 = local linear
   int jump = 1;    ///< evaluate every jump-th point, interpolate between
 };
+
+/// The neighborhood loess_at() regresses over at x0: the contiguous
+/// window [lo, lo + window) nearest x0 and the tricube bandwidth h
+/// (Cleveland-widened when the span exceeds the data).  Exposed so the
+/// batched SoA kernels (analysis/batch.h) share the exact window logic
+/// with the scalar path — both must pick identical points and weights
+/// for the outputs to stay bit-identical.
+struct LoessWindow {
+  int lo = 0;
+  int window = 0;
+  double h = 1.0;
+};
+
+/// Computes the window for a series of length n (n >= 2).
+LoessWindow loess_window(int n, double x0, const LoessOptions& opt) noexcept;
+
+/// Tricube neighborhood weight (1 - |u|^3)^3, zero for |u| >= 1.
+/// Shared by the scalar and batched paths.
+inline double tricube_weight(double u) noexcept {
+  u = std::abs(u);
+  if (u >= 1.0) return 0.0;
+  const double t = 1.0 - u * u * u;
+  return t * t * t;
+}
 
 /// Smoothed estimate of y at position x0 (x-coordinates are the indices
 /// 0..n-1; x0 may be fractional or slightly out of range).

@@ -1,5 +1,9 @@
 #include "core/classify.h"
 
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+
 namespace diurnal::core {
 
 BlockClassification classify_block(std::span<const double> counts,
@@ -20,6 +24,65 @@ BlockClassification classify_block(std::span<const double> counts,
   c.wide_swing = c.swing_detail.wide;
   c.change_sensitive = c.diurnal && c.wide_swing;
   return c;
+}
+
+void classify_blocks_batch(std::span<BatchClassifyJob> jobs,
+                           const ClassifierOptions& opt,
+                           analysis::BatchAnalyzer& baz,
+                           analysis::BlockAnalyzer& az) {
+  // The funnel's cheap fields and the non-responsive early out are
+  // per-job; only responsive jobs reach the analysis chain.
+  for (auto& job : jobs) {
+    BlockClassification& c = *job.out;
+    c = BlockClassification{};
+    c.responsive = job.responsive;
+    c.evidence_fraction = job.evidence_fraction;
+    c.low_confidence = job.evidence_fraction < opt.min_evidence_fraction;
+  }
+
+  // Batched diurnality for equal-shape responsive jobs.
+  constexpr std::size_t kMax = analysis::BatchAnalyzer::kMaxLanes;
+  if (jobs.size() > kMax) {
+    throw std::invalid_argument("classify_blocks_batch: too many jobs");
+  }
+  std::array<bool, kMax> done{};
+  std::array<std::span<const double>, kMax> lanes;
+  std::array<std::size_t, kMax> job_of_lane;
+  std::array<analysis::DiurnalResult, kMax> results;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i] || !jobs[i].responsive) continue;
+    std::size_t width = 0;
+    for (std::size_t k = i; k < jobs.size(); ++k) {
+      if (done[k] || !jobs[k].responsive) continue;
+      if (jobs[k].counts.size() == jobs[i].counts.size() &&
+          jobs[k].step == jobs[i].step) {
+        lanes[width] = jobs[k].counts;
+        job_of_lane[width] = k;
+        done[k] = true;
+        ++width;
+      }
+    }
+    const double samples_per_day = static_cast<double>(util::kSecondsPerDay) /
+                                   static_cast<double>(jobs[i].step);
+    baz.diurnal(std::span<const std::span<const double>>(lanes.data(), width),
+                samples_per_day, opt.diurnal,
+                std::span<analysis::DiurnalResult>(results.data(), width));
+    for (std::size_t j = 0; j < width; ++j) {
+      BlockClassification& c = *jobs[job_of_lane[j]].out;
+      c.diurnal_detail = results[j];
+      c.diurnal = c.diurnal_detail.diurnal;
+    }
+  }
+
+  // Swing gate: scalar per job (its day-bucketed quantile scan is
+  // already cheap and heavily branch-dependent).
+  for (auto& job : jobs) {
+    if (!job.responsive) continue;
+    BlockClassification& c = *job.out;
+    c.swing_detail = az.swing(job.counts, job.start, job.step, opt.swing);
+    c.wide_swing = c.swing_detail.wide;
+    c.change_sensitive = c.diurnal && c.wide_swing;
+  }
 }
 
 BlockClassification classify_block(const recon::ReconResult& recon,

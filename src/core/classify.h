@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <span>
 
+#include "analysis/batch_analyzer.h"
 #include "analysis/block_analyzer.h"
 #include "analysis/diurnal_test.h"
 #include "analysis/swing.h"
@@ -56,6 +57,28 @@ BlockClassification classify_block(std::span<const double> counts,
                                    bool responsive, double evidence_fraction,
                                    const ClassifierOptions& opt,
                                    analysis::BlockAnalyzer& az);
+
+/// One block's inputs to the batched classifier.
+struct BatchClassifyJob {
+  std::span<const double> counts;
+  util::SimTime start = 0;
+  std::int64_t step = 0;
+  bool responsive = false;
+  double evidence_fraction = 1.0;
+  BlockClassification* out = nullptr;
+};
+
+/// Batched classification: runs the diurnality tests for equal-shape
+/// responsive jobs through the SoA kernels, the swing gate scalar per
+/// job.  jobs.size() must be at most
+/// analysis::BatchAnalyzer::kMaxLanes (callers feed worker-local
+/// batches; ragged tails are smaller job sets).  Each job's result is
+/// bit-identical to classify_block() on that job.  `baz` and `az` are
+/// the caller's per-thread analyzers.
+void classify_blocks_batch(std::span<BatchClassifyJob> jobs,
+                           const ClassifierOptions& opt,
+                           analysis::BatchAnalyzer& baz,
+                           analysis::BlockAnalyzer& az);
 
 /// Table 2 row: counts of blocks at each funnel stage.
 struct FunnelCounts {

@@ -147,52 +147,28 @@ void detect_raw_outages(std::span<const double> counts, util::SimTime start,
   // outage (it could be WFH in progress).
 }
 
-// The whole detection stage over span kernels.  `rich` non-null also
-// materializes the component series of the legacy DetectionResult.
-void run_detection(std::span<const double> counts, util::SimTime start,
-                   std::int64_t step, const DetectorOptions& opt,
-                   analysis::BlockAnalyzer& az,
-                   std::vector<DetectedChange>& changes,
-                   DetectionResult* rich) {
-  changes.clear();
-  if (counts.empty() || step <= 0) return;
-
-  const int period = static_cast<int>(opt.period_seconds / step);
-  if (period < 2 || counts.size() < static_cast<std::size_t>(2 * period)) {
-    return;
-  }
-
-  analysis::BlockAnalyzer::Decomposition dec;
-  if (opt.trend_model == TrendModel::kNaive) {
-    dec = az.decompose_naive(counts, period);
-  } else {
-    analysis::StlOptions stl = opt.stl;
-    stl.period = period;
-    if (stl.trend_span == 0) {
-      // The Cleveland default (~2 periods) over-smooths step changes,
-      // diluting their measured amplitude and delaying the alarm; a
-      // span of ~1.25 periods keeps the trend responsive while still
-      // suppressing population-churn wiggles.
-      stl.trend_span = period + period / 4 + 1;
-    }
-    dec = az.decompose_stl(counts, stl);
-  }
-
-  const auto z = az.zscore(dec.trend);
-  const auto cus = az.cusum(z, opt.cusum);
-
+// Everything after the trend -> z-score -> CUSUM chain: turning change
+// points into annotated DetectedChanges and running the outage
+// filters.  Shared verbatim by the scalar path (run_detection) and the
+// batched per-lane path (BatchDetector::flush), so the two stay
+// bit-identical by construction.
+void extract_changes(std::span<const double> counts, util::SimTime start,
+                     std::int64_t step, const DetectorOptions& opt,
+                     std::span<const analysis::ChangePoint> cps,
+                     std::span<const double> trend, analysis::Workspace& ws,
+                     std::vector<DetectedChange>& changes) {
   auto time_at = [&](std::size_t i) {
     return start + static_cast<std::int64_t>(i) * step;
   };
-  changes.reserve(cus.changes.size());
-  for (const auto& cp : cus.changes) {
+  changes.reserve(cps.size());
+  for (const auto& cp : cps) {
     DetectedChange c;
     c.start = time_at(cp.start);
     c.alarm = time_at(cp.alarm);
     c.end = time_at(cp.end);
     c.direction = cp.direction;
     c.amplitude = cp.amplitude;
-    c.amplitude_addresses = dec.trend[cp.end] - dec.trend[cp.start];
+    c.amplitude_addresses = trend[cp.end] - trend[cp.start];
     c.filtered_small =
         std::abs(c.amplitude_addresses) < opt.min_change_addresses;
     changes.push_back(c);
@@ -206,7 +182,7 @@ void run_detection(std::span<const double> counts, util::SimTime start,
   // ends keeps week-long holidays (low runs > max_outage_duration) and
   // changes that merely sit near an unrelated one-hour outage alive.
   std::vector<RawInterval> outages;
-  detect_raw_outages(counts, start, step, opt, az.workspace(), outages);
+  detect_raw_outages(counts, start, step, opt, ws, outages);
   if (!outages.empty()) {
     const std::int64_t margin = util::kSecondsPerDay;
     for (std::size_t i = 0; i + 1 < changes.size(); ++i) {
@@ -226,6 +202,50 @@ void run_detection(std::span<const double> counts, util::SimTime start,
       }
     }
   }
+}
+
+// The detector's per-series STL configuration (trend span responsive
+// to ~1.25 periods; see the comment in run_detection's scalar twin).
+analysis::StlOptions detector_stl_options(const DetectorOptions& opt,
+                                          int period) {
+  analysis::StlOptions stl = opt.stl;
+  stl.period = period;
+  if (stl.trend_span == 0) {
+    // The Cleveland default (~2 periods) over-smooths step changes,
+    // diluting their measured amplitude and delaying the alarm; a
+    // span of ~1.25 periods keeps the trend responsive while still
+    // suppressing population-churn wiggles.
+    stl.trend_span = period + period / 4 + 1;
+  }
+  return stl;
+}
+
+// The whole detection stage over span kernels.  `rich` non-null also
+// materializes the component series of the legacy DetectionResult.
+void run_detection(std::span<const double> counts, util::SimTime start,
+                   std::int64_t step, const DetectorOptions& opt,
+                   analysis::BlockAnalyzer& az,
+                   std::vector<DetectedChange>& changes,
+                   DetectionResult* rich) {
+  changes.clear();
+  if (counts.empty() || step <= 0) return;
+
+  const int period = static_cast<int>(opt.period_seconds / step);
+  if (period < 2 || counts.size() < static_cast<std::size_t>(2 * period)) {
+    return;
+  }
+
+  analysis::BlockAnalyzer::Decomposition dec;
+  if (opt.trend_model == TrendModel::kNaive) {
+    dec = az.decompose_naive(counts, period);
+  } else {
+    dec = az.decompose_stl(counts, detector_stl_options(opt, period));
+  }
+
+  const auto z = az.zscore(dec.trend);
+  const auto cus = az.cusum(z, opt.cusum);
+  extract_changes(counts, start, step, opt, cus.changes, dec.trend,
+                  az.workspace(), changes);
 
   if (rich != nullptr) {
     rich->trend = util::TimeSeries(start, step,
@@ -260,6 +280,62 @@ DetectionResult detect_changes(const util::TimeSeries& counts,
   run_detection(counts.span(), counts.start(), counts.step(), opt, az,
                 res.changes, &res);
   return res;
+}
+
+BatchDetector::BatchDetector(const DetectorOptions& opt,
+                             std::size_t max_lanes)
+    : opt_(opt),
+      max_lanes_(std::clamp<std::size_t>(max_lanes, 1,
+                                         analysis::BatchAnalyzer::kMaxLanes)) {
+}
+
+void BatchDetector::enqueue(std::span<const double> counts,
+                            util::SimTime start, std::int64_t step,
+                            std::vector<DetectedChange>* out) {
+  out->clear();
+  // The scalar path's early outs: such blocks produce no changes and
+  // never reach the analysis chain, so they are not queued.
+  if (counts.empty() || step <= 0) return;
+  const int period = static_cast<int>(opt_.period_seconds / step);
+  if (period < 2 || counts.size() < static_cast<std::size_t>(2 * period)) {
+    return;
+  }
+  jobs_[pending_++] = Job{counts, start, step, out};
+  if (pending_ == max_lanes_) flush();
+}
+
+void BatchDetector::flush() {
+  std::array<bool, analysis::BatchAnalyzer::kMaxLanes> done{};
+  std::array<std::span<const double>, analysis::BatchAnalyzer::kMaxLanes>
+      lanes;
+  std::array<std::size_t, analysis::BatchAnalyzer::kMaxLanes> job_of_lane;
+  for (std::size_t i = 0; i < pending_; ++i) {
+    if (done[i]) continue;
+    // One SoA batch per (length, step) shape; ragged tails simply run
+    // as narrower batches.
+    std::size_t width = 0;
+    for (std::size_t k = i; k < pending_; ++k) {
+      if (done[k]) continue;
+      if (jobs_[k].counts.size() == jobs_[i].counts.size() &&
+          jobs_[k].step == jobs_[i].step) {
+        lanes[width] = jobs_[k].counts;
+        job_of_lane[width] = k;
+        done[k] = true;
+        ++width;
+      }
+    }
+    const int period =
+        static_cast<int>(opt_.period_seconds / jobs_[i].step);
+    az_.run_detection_chain(
+        std::span<const std::span<const double>>(lanes.data(), width),
+        detector_stl_options(opt_, period), opt_.cusum);
+    for (std::size_t j = 0; j < width; ++j) {
+      Job& job = jobs_[job_of_lane[j]];
+      extract_changes(job.counts, job.start, job.step, opt_, az_.changes(j),
+                      az_.trend(j), az_.workspace(), *job.out);
+    }
+  }
+  pending_ = 0;
 }
 
 }  // namespace diurnal::core

@@ -4,9 +4,12 @@
 // changes (outages and ISP renumbering).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <span>
 #include <vector>
 
+#include "analysis/batch_analyzer.h"
 #include "analysis/block_analyzer.h"
 #include "analysis/cusum.h"
 #include "analysis/stl.h"
@@ -99,5 +102,53 @@ void detect_changes(std::span<const double> counts, util::SimTime start,
                     std::int64_t step, const DetectorOptions& opt,
                     analysis::BlockAnalyzer& az,
                     std::vector<DetectedChange>& changes);
+
+/// Batched detection: queues block jobs and runs the STL -> z-score ->
+/// CUSUM chain for up to kMaxBatchLanes of them at once through the
+/// SoA kernels (analysis/batch.h), then the same per-lane change
+/// extraction and outage filters as detect_changes().  Each block's
+/// change list is bit-identical to the scalar path's.
+///
+/// Contracts: one detector per thread; opt.trend_model must be kStl
+/// (the naive ablation path stays scalar); queued spans must stay
+/// valid until the enqueue that fills the batch or an explicit
+/// flush() — the fleet drives satisfy this by queueing SeriesStore
+/// rows, which are stable for the whole run.
+class BatchDetector {
+ public:
+  explicit BatchDetector(
+      const DetectorOptions& opt,
+      std::size_t max_lanes = analysis::BatchAnalyzer::kMaxLanes);
+  BatchDetector(const BatchDetector&) = delete;
+  BatchDetector& operator=(const BatchDetector&) = delete;
+
+  /// Queues one block; `out` is cleared now and filled at flush time.
+  /// Blocks the scalar path's early outs reject (empty, bad step,
+  /// shorter than two periods) are finished immediately and never
+  /// queued.  Reaching max_lanes queued jobs flushes automatically.
+  void enqueue(std::span<const double> counts, util::SimTime start,
+               std::int64_t step, std::vector<DetectedChange>* out);
+
+  /// Runs every queued job, grouping equal-shape (length, step) jobs
+  /// into SoA batches; ragged tails run as narrower batches.
+  void flush();
+
+  /// Jobs queued and not yet flushed.
+  std::size_t pending() const noexcept { return pending_; }
+
+ private:
+  struct Job {
+    std::span<const double> counts;
+    util::SimTime start = 0;
+    std::int64_t step = 0;
+    std::vector<DetectedChange>* out = nullptr;
+  };
+
+  const DetectorOptions opt_;
+  std::size_t max_lanes_;
+  std::array<Job, analysis::BatchAnalyzer::kMaxLanes> jobs_;
+  std::size_t pending_ = 0;
+  analysis::BatchAnalyzer az_;
+};
 
 }  // namespace diurnal::core

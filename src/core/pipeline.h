@@ -56,6 +56,15 @@ struct FleetConfig {
   bool fuse_observation_windows = true;
 
   int threads = 0;  ///< 0 = hardware concurrency
+
+  /// Lanes of the batched SoA analysis path (analysis/batch.h) feeding
+  /// classification and detection: 0 = full width
+  /// (analysis::BatchAnalyzer::kMaxLanes), 1 = the legacy scalar
+  /// per-block path, otherwise clamped to [1, kMaxLanes].  Results are
+  /// bit-identical at every width (the batched kernels replicate the
+  /// scalar arithmetic per lane); the knob exists for the
+  /// scalar-vs-batched frontier benchmarks and equivalence tests.
+  int analysis_batch_width = 0;
 };
 
 struct BlockOutcome {

@@ -1,9 +1,11 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <span>
 #include <thread>
 
@@ -94,6 +96,103 @@ constexpr std::size_t kTrailPeriods = 5;
 
 }  // namespace
 
+// One worker's batched-analysis state.  Slots queue finalized blocks
+// until a full-width SoA batch is ready (or the worker runs out of
+// blocks — the ragged tail flushes narrower).  finalize_stats() writes
+// into the slot in place, and slot vectors reuse their high-water
+// capacity, so the batched path keeps the drives' zero-allocs-per-block
+// steady state.
+struct StreamingFleet::BatchCtx {
+  struct Slot {
+    std::size_t index = 0;
+    recon::DegradedReconStats sr;
+  };
+
+  BatchCtx(const FleetConfig& cfg, std::size_t width)
+      : width(width), det(cfg.detector, width) {}
+
+  std::size_t width;
+  std::array<Slot, analysis::BatchAnalyzer::kMaxLanes> slots;
+  std::size_t n_slots = 0;
+  analysis::BatchAnalyzer az;
+  BatchDetector det;
+};
+
+std::size_t StreamingFleet::batch_width() const noexcept {
+  const int w = config_.analysis_batch_width;
+  if (w <= 0) return analysis::BatchAnalyzer::kMaxLanes;
+  return std::min<std::size_t>(static_cast<std::size_t>(w),
+                               analysis::BatchAnalyzer::kMaxLanes);
+}
+
+void StreamingFleet::classify_flush(BatchCtx& b,
+                                    analysis::BlockAnalyzer& az) {
+  if (b.n_slots == 0) return;
+  std::array<BatchClassifyJob, analysis::BatchAnalyzer::kMaxLanes> jobs;
+  for (std::size_t k = 0; k < b.n_slots; ++k) {
+    const BatchCtx::Slot& s = b.slots[k];
+    const recon::ReconStats& rs = s.sr.recon;
+    jobs[k] = BatchClassifyJob{store_.series(s.index), rs.start,
+                               rs.step,           rs.responsive,
+                               rs.evidence_fraction,
+                               &result_.outcomes[s.index].cls};
+  }
+  classify_blocks_batch(std::span<BatchClassifyJob>(jobs.data(), b.n_slots),
+                        config_.classifier, b.az, az);
+  for (std::size_t k = 0; k < b.n_slots; ++k) {
+    const BatchCtx::Slot& s = b.slots[k];
+    result_.degradation.blocks[s.index] = fault::summarize_block(
+        s.sr.observers, static_cast<int>(s.sr.observers.size()),
+        classify_oc_.window, s.sr.recon.evidence_fraction,
+        s.sr.recon.max_gap_seconds, evidence_floor_);
+  }
+  if (config_.run_detection) {
+    // The batched detector requires the STL trend model; the naive
+    // ablation keeps the scalar path.
+    const bool batched =
+        config_.detector.trend_model == TrendModel::kStl && b.width > 1;
+    for (std::size_t k = 0; k < b.n_slots; ++k) {
+      const BatchCtx::Slot& s = b.slots[k];
+      BlockOutcome& out = result_.outcomes[s.index];
+      if (!out.cls.change_sensitive) continue;
+      if (batched) {
+        b.det.enqueue(store_.series(s.index), s.sr.recon.start,
+                      s.sr.recon.step, &out.changes);
+      } else {
+        detect_outcome(s.index, store_.series(s.index), s.sr.recon, az);
+      }
+    }
+    if (batched) {
+      b.det.flush();
+      for (std::size_t k = 0; k < b.n_slots; ++k) {
+        const BatchCtx::Slot& s = b.slots[k];
+        BlockOutcome& out = result_.outcomes[s.index];
+        if (!out.cls.change_sensitive) continue;
+        annotate_low_evidence(out.changes, s.sr.recon.evidence_fraction,
+                              s.sr.recon.gaps, evidence_floor_);
+      }
+    }
+  }
+  b.n_slots = 0;
+}
+
+void StreamingFleet::detect_flush(BatchCtx& b) {
+  if (b.n_slots == 0) return;
+  for (std::size_t k = 0; k < b.n_slots; ++k) {
+    const BatchCtx::Slot& s = b.slots[k];
+    b.det.enqueue(store_.series(s.index), s.sr.recon.start, s.sr.recon.step,
+                  &result_.outcomes[s.index].changes);
+  }
+  b.det.flush();
+  for (std::size_t k = 0; k < b.n_slots; ++k) {
+    const BatchCtx::Slot& s = b.slots[k];
+    annotate_low_evidence(result_.outcomes[s.index].changes,
+                          s.sr.recon.evidence_fraction, s.sr.recon.gaps,
+                          evidence_floor_);
+  }
+  b.n_slots = 0;
+}
+
 StreamingFleet::StreamingFleet(const sim::World& world,
                                const FleetConfig& config)
     : world_(world), config_(config) {
@@ -175,6 +274,16 @@ void StreamingFleet::finish_result() {
 FleetResult StreamingFleet::run_to_completion() {
   assert(!finished_ && cells_.empty());
   const auto& blocks = world_.blocks();
+  const std::size_t width = batch_width();
+  // Batched classification needs store-backed series that outlive the
+  // per-block stream: only kSame binds every classification series to
+  // a SeriesStore row (kUnion/kSeparate classify from stream-internal
+  // views that the next block invalidates).  Batched detection reads
+  // store rows in every mode.
+  const bool batch_classify = width > 1 && mode_ == Mode::kSame;
+  const bool batch_detect =
+      width > 1 && config_.run_detection &&
+      config_.detector.trend_model == TrendModel::kStl;
   std::atomic<std::size_t> next{0};
   auto make_worker = [&] {
     return [&] {
@@ -183,10 +292,11 @@ FleetResult StreamingFleet::run_to_completion() {
       recon::DegradedReconStats classify_sr;
       recon::DegradedReconStats detect_sr;
       analysis::BlockAnalyzer analyzer;
+      BatchCtx batch(config_, width);
       for (;;) {
         const std::size_t begin =
             next.fetch_add(kChunk, std::memory_order_relaxed);
-        if (begin >= blocks.size()) return;
+        if (begin >= blocks.size()) break;
         const std::size_t end = std::min(begin + kChunk, blocks.size());
         for (std::size_t i = begin; i < end; ++i) {
           const auto& block = blocks[i];
@@ -197,12 +307,25 @@ FleetResult StreamingFleet::run_to_completion() {
             case Mode::kSame:
               stream.begin(block, detect_oc_, scratch);
               stream.bind_series(store_.row(i));
-              stream.finalize_stats(classify_sr);
-              store_.set_len(i, classify_sr.recon.len);
-              classify_outcome(i, store_.series(i), classify_sr, analyzer);
-              if (out.cls.change_sensitive && config_.run_detection) {
-                detect_outcome(i, store_.series(i), classify_sr.recon,
-                               analyzer);
+              if (batch_classify) {
+                // Queue the finalized block; classification, detection
+                // and annotation all happen at flush, reading the
+                // stable store row.
+                BatchCtx::Slot& s = batch.slots[batch.n_slots];
+                s.index = i;
+                stream.finalize_stats(s.sr);
+                store_.set_len(i, s.sr.recon.len);
+                if (++batch.n_slots == width) {
+                  classify_flush(batch, analyzer);
+                }
+              } else {
+                stream.finalize_stats(classify_sr);
+                store_.set_len(i, classify_sr.recon.len);
+                classify_outcome(i, store_.series(i), classify_sr, analyzer);
+                if (out.cls.change_sensitive && config_.run_detection) {
+                  detect_outcome(i, store_.series(i), classify_sr.recon,
+                                 analyzer);
+                }
               }
               break;
             case Mode::kUnion:
@@ -213,9 +336,18 @@ FleetResult StreamingFleet::run_to_completion() {
               classify_outcome(i, stream.classify_series(), classify_sr,
                                analyzer);
               if (out.cls.change_sensitive && config_.run_detection) {
-                stream.finalize_stats(detect_sr);
-                store_.set_len(i, detect_sr.recon.len);
-                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
+                if (batch_detect) {
+                  BatchCtx::Slot& s = batch.slots[batch.n_slots];
+                  s.index = i;
+                  stream.finalize_stats(s.sr);
+                  store_.set_len(i, s.sr.recon.len);
+                  if (++batch.n_slots == width) detect_flush(batch);
+                } else {
+                  stream.finalize_stats(detect_sr);
+                  store_.set_len(i, detect_sr.recon.len);
+                  detect_outcome(i, store_.series(i), detect_sr.recon,
+                                 analyzer);
+                }
               }
               break;
             case Mode::kSeparate:
@@ -225,13 +357,28 @@ FleetResult StreamingFleet::run_to_completion() {
               if (out.cls.change_sensitive && config_.run_detection) {
                 stream.begin(block, detect_oc_, scratch);
                 stream.bind_series(store_.row(i));
-                stream.finalize_stats(detect_sr);
-                store_.set_len(i, detect_sr.recon.len);
-                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
+                if (batch_detect) {
+                  BatchCtx::Slot& s = batch.slots[batch.n_slots];
+                  s.index = i;
+                  stream.finalize_stats(s.sr);
+                  store_.set_len(i, s.sr.recon.len);
+                  if (++batch.n_slots == width) detect_flush(batch);
+                } else {
+                  stream.finalize_stats(detect_sr);
+                  store_.set_len(i, detect_sr.recon.len);
+                  detect_outcome(i, store_.series(i), detect_sr.recon,
+                                 analyzer);
+                }
               }
               break;
           }
         }
+      }
+      // Ragged tail: whatever is still queued runs as a narrower batch.
+      if (batch_classify) {
+        classify_flush(batch, analyzer);
+      } else if (batch_detect) {
+        detect_flush(batch);
       }
     };
   };
@@ -450,6 +597,14 @@ FleetResult StreamingFleet::finalize() {
   assert(!finished_);
   const auto& blocks = world_.blocks();
   cells_.resize(blocks.size());
+  const std::size_t width = batch_width();
+  // Same batching contract as run_to_completion(): kSame batches the
+  // whole classify+detect chain, the split-window modes batch detection
+  // only (their classification reads stream-internal views).
+  const bool batch_classify = width > 1 && mode_ == Mode::kSame;
+  const bool batch_detect =
+      width > 1 && config_.run_detection &&
+      config_.detector.trend_model == TrendModel::kStl;
   std::atomic<std::size_t> next{0};
   auto make_worker = [&] {
     return [&] {
@@ -458,10 +613,11 @@ FleetResult StreamingFleet::finalize() {
       recon::DegradedReconStats classify_sr;
       recon::DegradedReconStats detect_sr;
       analysis::BlockAnalyzer analyzer;
+      BatchCtx batch(config_, width);
       for (;;) {
         const std::size_t begin =
             next.fetch_add(kChunk, std::memory_order_relaxed);
-        if (begin >= blocks.size()) return;
+        if (begin >= blocks.size()) break;
         const std::size_t end = std::min(begin + kChunk, blocks.size());
         for (std::size_t i = begin; i < end; ++i) {
           const auto& block = blocks[i];
@@ -472,13 +628,24 @@ FleetResult StreamingFleet::finalize() {
           BlockOutcome& out = result_.outcomes[i];
           switch (mode_) {
             case Mode::kSame:
-              c.stream.finalize_stats(classify_sr);
-              store_.set_len(i, classify_sr.recon.len);
-              classify_outcome(i, store_.series(i), classify_sr, analyzer);
-              c.classified = true;
-              if (out.cls.change_sensitive && config_.run_detection) {
-                detect_outcome(i, store_.series(i), classify_sr.recon,
-                               analyzer);
+              if (batch_classify) {
+                BatchCtx::Slot& s = batch.slots[batch.n_slots];
+                s.index = i;
+                c.stream.finalize_stats(s.sr);
+                store_.set_len(i, s.sr.recon.len);
+                c.classified = true;
+                if (++batch.n_slots == width) {
+                  classify_flush(batch, analyzer);
+                }
+              } else {
+                c.stream.finalize_stats(classify_sr);
+                store_.set_len(i, classify_sr.recon.len);
+                classify_outcome(i, store_.series(i), classify_sr, analyzer);
+                c.classified = true;
+                if (out.cls.change_sensitive && config_.run_detection) {
+                  detect_outcome(i, store_.series(i), classify_sr.recon,
+                                 analyzer);
+                }
               }
               break;
             case Mode::kUnion:
@@ -492,9 +659,18 @@ FleetResult StreamingFleet::finalize() {
                     out.cls.change_sensitive && config_.run_detection;
               }
               if (c.active) {
-                c.stream.finalize_stats(detect_sr);
-                store_.set_len(i, detect_sr.recon.len);
-                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
+                if (batch_detect) {
+                  BatchCtx::Slot& s = batch.slots[batch.n_slots];
+                  s.index = i;
+                  c.stream.finalize_stats(s.sr);
+                  store_.set_len(i, s.sr.recon.len);
+                  if (++batch.n_slots == width) detect_flush(batch);
+                } else {
+                  c.stream.finalize_stats(detect_sr);
+                  store_.set_len(i, detect_sr.recon.len);
+                  detect_outcome(i, store_.series(i), detect_sr.recon,
+                                 analyzer);
+                }
               }
               break;
             case Mode::kSeparate:
@@ -505,14 +681,29 @@ FleetResult StreamingFleet::finalize() {
                 c.classified = true;
               }
               if (out.cls.change_sensitive && config_.run_detection) {
-                c.stream.finalize_stats(detect_sr);
-                store_.set_len(i, detect_sr.recon.len);
-                detect_outcome(i, store_.series(i), detect_sr.recon, analyzer);
+                if (batch_detect) {
+                  BatchCtx::Slot& s = batch.slots[batch.n_slots];
+                  s.index = i;
+                  c.stream.finalize_stats(s.sr);
+                  store_.set_len(i, s.sr.recon.len);
+                  if (++batch.n_slots == width) detect_flush(batch);
+                } else {
+                  c.stream.finalize_stats(detect_sr);
+                  store_.set_len(i, detect_sr.recon.len);
+                  detect_outcome(i, store_.series(i), detect_sr.recon,
+                                 analyzer);
+                }
               }
               break;
           }
           c.active = false;
         }
+      }
+      // Ragged tail: drain what the last chunk left queued.
+      if (batch_classify) {
+        classify_flush(batch, analyzer);
+      } else if (batch_detect) {
+        detect_flush(batch);
       }
     };
   };

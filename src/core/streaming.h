@@ -117,12 +117,24 @@ class StreamingFleet {
     std::size_t reported = 0;  ///< confirmed changes already surfaced
   };
 
+  /// Per-worker state of the batched analysis path: classification and
+  /// detection slots plus the SoA analyzers (defined in streaming.cc).
+  struct BatchCtx;
+
   void classify_outcome(std::size_t i, std::span<const double> counts,
                         const recon::DegradedReconStats& ds,
                         analysis::BlockAnalyzer& az);
   void detect_outcome(std::size_t i, std::span<const double> counts,
                       const recon::ReconStats& stats,
                       analysis::BlockAnalyzer& az);
+  /// Resolved analysis_batch_width (see FleetConfig); 1 = scalar path.
+  std::size_t batch_width() const noexcept;
+  /// Classifies the queued kSame slots in one SoA batch, then feeds
+  /// change-sensitive blocks to the batched detector and annotates.
+  void classify_flush(BatchCtx& b, analysis::BlockAnalyzer& az);
+  /// Runs the queued detection-only slots (kUnion/kSeparate) through
+  /// the batched detector and annotates.
+  void detect_flush(BatchCtx& b);
   void begin_cell(std::size_t i, probe::ProbeScratch& scratch);
   void screen_cell(std::size_t i, analysis::BlockAnalyzer& az,
                    recon::ReconStats& stats);

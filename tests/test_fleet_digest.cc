@@ -16,6 +16,7 @@
 
 #include "core/digest.h"
 #include "core/pipeline.h"
+#include "core/streaming.h"
 #include "fault/fault_plan.h"
 #include "sim/world.h"
 #include "validate/harness.h"
@@ -70,6 +71,56 @@ TEST(FleetDigest, FaultPlanRunIsThreadCountInvariant) {
   // And the degraded run must differ from the healthy golden run — the
   // digest actually sees the fault layer's effects.
   EXPECT_NE(core::digest_hex(d1), kGoldenDigest);
+}
+
+TEST(FleetDigest, BatchWidthInvariantOnBatchDrive) {
+  // The batched SoA kernels promise bit identity at every width: the
+  // scalar path (width 1), a ragged odd width, a narrow batch, and the
+  // default full width must all land on the golden digest.
+  for (const int width : {1, 2, 5}) {
+    auto fc = golden_config(2);
+    fc.analysis_batch_width = width;
+    const auto result = core::run_fleet(golden_world(), fc);
+    EXPECT_EQ(core::digest_hex(core::fleet_digest(result)), kGoldenDigest)
+        << "width " << width;
+  }
+}
+
+TEST(FleetDigest, BatchWidthInvariantOnStreamingDrive) {
+  // The incremental drive batches flushes at worker boundaries, a
+  // different grouping than the batch drive — the digest must not see
+  // the difference at any width.
+  for (const int width : {1, 5, 0}) {
+    auto fc = golden_config(2);
+    fc.analysis_batch_width = width;
+    core::StreamingFleet fleet(golden_world(), fc);
+    const util::SimTime mid =
+        fleet.window_start() +
+        (fleet.window_end() - fleet.window_start()) / 2;
+    fleet.advance_to(mid);
+    fleet.advance_to(fleet.window_end());
+    const auto result = fleet.finalize();
+    EXPECT_EQ(core::digest_hex(core::fleet_digest(result)), kGoldenDigest)
+        << "width " << width;
+  }
+}
+
+TEST(FleetDigest, BatchWidthInvariantUnderFaults) {
+  // Degraded runs route blocks through the low-evidence annotations and
+  // NaN-gap kernels; the scalar and batched paths must still agree.
+  auto scalar_fc = golden_config(1);
+  scalar_fc.faults = fault::scenario("dropout", scalar_fc.dataset.window());
+  scalar_fc.analysis_batch_width = 1;
+  const auto scalar_digest =
+      core::fleet_digest(core::run_fleet(golden_world(), scalar_fc));
+
+  auto batched_fc = golden_config(2);
+  batched_fc.faults = fault::scenario("dropout", batched_fc.dataset.window());
+  batched_fc.analysis_batch_width = 0;
+  const auto batched_digest =
+      core::fleet_digest(core::run_fleet(golden_world(), batched_fc));
+
+  EXPECT_EQ(core::digest_hex(scalar_digest), core::digest_hex(batched_digest));
 }
 
 TEST(FleetDigest, ValidationGoldenMixScenarioReproducesGoldenDigest) {

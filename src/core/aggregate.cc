@@ -46,6 +46,27 @@ void ChangeAggregator::add_block(geo::GridCell cell, geo::Continent continent,
   }
 }
 
+void ChangeAggregator::merge_from(const ChangeAggregator& other) {
+  const auto fold = [this](RegionDaySeries& into, const RegionDaySeries& from) {
+    into.change_sensitive_blocks += from.change_sensitive_blocks;
+    for (std::size_t d = 0; d < days_; ++d) {
+      into.down[d] += from.down[d];
+      into.up[d] += from.up[d];
+    }
+  };
+  for (const auto& [cell, series] : other.by_cell_) {
+    auto& cs = by_cell_[cell];
+    if (cs.down.empty()) {
+      cs.down.assign(days_, 0);
+      cs.up.assign(days_, 0);
+    }
+    fold(cs, series);
+  }
+  for (std::size_t c = 0; c < by_continent_.size(); ++c) {
+    fold(by_continent_[c], other.by_continent_[c]);
+  }
+}
+
 std::vector<ChangeAggregator::CellSnapshot> ChangeAggregator::map_snapshot(
     util::SimTime day, std::int32_t min_blocks) const {
   const std::size_t d = day_of(day);

@@ -36,12 +36,19 @@ struct RegionDaySeries {
 /// daily series.
 class ChangeAggregator {
  public:
+  /// Empty zero-day aggregator (a merge/assignment target).
+  ChangeAggregator() : ChangeAggregator(0, 0) {}
   ChangeAggregator(util::SimTime start, util::SimTime end);
 
   /// Registers a change-sensitive block and its (outage-filtered)
   /// activity changes.  The day of a change is the day of its alarm.
   void add_block(geo::GridCell cell, geo::Continent continent,
                  const std::vector<DetectedChange>& changes);
+
+  /// Folds another aggregator over the same window into this one (the
+  /// shard-merge path).  Daily counts are integer sums, so any merge
+  /// order produces identical series; `other` must share this window.
+  void merge_from(const ChangeAggregator& other);
 
   util::SimTime start() const noexcept { return start_; }
   std::size_t days() const noexcept { return days_; }

@@ -57,6 +57,13 @@ class SeriesStore {
   }
   std::size_t len(std::size_t i) const noexcept { return len_[i]; }
 
+  /// Heap bytes held (sample buffer + length column) — the dominant
+  /// per-shard residency cost the shard scheduler accounts for.
+  std::size_t memory_bytes() const noexcept {
+    return data_.capacity() * sizeof(double) +
+           len_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   std::vector<double, util::DefaultInitAllocator<double>> data_;
   std::vector<std::uint32_t> len_;

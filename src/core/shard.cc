@@ -1,0 +1,167 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/streaming.h"
+#include "geo/countries.h"
+
+namespace diurnal::core {
+
+namespace {
+
+unsigned resolve_threads(int requested) {
+  const unsigned n = requested > 0
+                         ? static_cast<unsigned>(requested)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  return std::min<unsigned>(n, 64);
+}
+
+/// Atomic running maximum.
+void track_peak(std::atomic<std::size_t>& peak, std::size_t value) {
+  std::size_t seen = peak.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !peak.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ShardedFleetResult run_sharded_fleet(const sim::WorldConfig& world_config,
+                                     const FleetConfig& config,
+                                     const ShardConfig& shards) {
+  return run_sharded_fleet(sim::BlockGenerator(world_config), config, shards);
+}
+
+ShardedFleetResult run_sharded_fleet(const sim::BlockGenerator& generator,
+                                     const FleetConfig& config,
+                                     const ShardConfig& shards) {
+  const std::size_t total = generator.total_blocks();
+  const std::size_t shard_size =
+      shards.shard_size == 0 ? std::max<std::size_t>(total, 1)
+                             : shards.shard_size;
+  const std::size_t n_shards =
+      total == 0 ? 0 : (total + shard_size - 1) / shard_size;
+
+  const auto window = config.dataset.window();
+  const std::int64_t sstep = config.recon.sample_step;
+  const std::int64_t dur = window.end - window.start;
+  const std::size_t stride =
+      (sstep <= 0 || dur <= 0)
+          ? 0
+          : static_cast<std::size_t>((dur + sstep - 1) / sstep);
+
+  ShardedFleetResult out{{}, ChangeAggregator(window.start, window.end), {}};
+  out.fleet.outcomes.resize(total);
+  out.fleet.degradation.blocks.resize(total);
+  if (shards.retain_series) {
+    out.fleet.series.reset(total, stride, window.start, sstep);
+  }
+
+  // Worker topology: each shard worker owns at most one resident shard,
+  // so min(threads, max_resident) workers enforce the residency cap by
+  // construction; leftover parallelism goes inside the shard runs (the
+  // single-shard / whole-world case degrades to one worker driving a
+  // fully parallel StreamingFleet).
+  const unsigned threads = resolve_threads(config.threads);
+  const std::size_t max_resident = std::max<std::size_t>(1, shards.max_resident);
+  const std::size_t n_workers = std::max<std::size_t>(
+      1, std::min({static_cast<std::size_t>(threads), max_resident,
+                   std::max<std::size_t>(n_shards, 1)}));
+  const int intra_threads =
+      static_cast<int>(std::max<std::size_t>(1, threads / n_workers));
+
+  std::atomic<std::size_t> next_shard{0};
+  std::atomic<std::size_t> resident{0};
+  std::atomic<std::size_t> peak_resident{0};
+  std::atomic<std::size_t> resident_bytes{0};
+  std::atomic<std::size_t> peak_resident_bytes{0};
+  std::mutex agg_mu;
+
+  auto worker = [&] {
+    sim::WorldSlice slice;
+    ChangeAggregator local_agg(window.start, window.end);
+    for (;;) {
+      const std::size_t k = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (k >= n_shards) break;
+      const std::size_t begin = k * shard_size;
+      const std::size_t end = std::min(begin + shard_size, total);
+
+      track_peak(peak_resident, resident.fetch_add(1) + 1);
+      slice.materialize(generator, begin, end);
+      // Account the slice plus the shard-local series store the engine
+      // is about to allocate ((end-begin) rows of `stride` samples plus
+      // the length column) for the whole time both are resident.
+      const std::size_t bytes = slice.memory_bytes() +
+                                (end - begin) * stride * sizeof(double) +
+                                (end - begin) * sizeof(std::uint32_t);
+      track_peak(peak_resident_bytes, resident_bytes.fetch_add(bytes) + bytes);
+
+      FleetConfig shard_config = config;
+      shard_config.threads = intra_threads;
+      StreamingFleet engine(slice.blocks(), shard_config);
+      FleetResult r = engine.run_to_completion();
+
+      // Fold: disjoint global rows, so no synchronization needed.
+      for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+        out.fleet.outcomes[begin + i] = std::move(r.outcomes[i]);
+      }
+      out.fleet.degradation.absorb_rows(r.degradation, begin);
+      if (shards.retain_series) {
+        for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+          const auto src = r.series.series(i);
+          const auto dst = out.fleet.series.row(begin + i);
+          std::memcpy(dst.data(), src.data(), src.size() * sizeof(double));
+          out.fleet.series.set_len(begin + i, src.size());
+        }
+      }
+      // Aggregate while the slice (block locations) is still resident.
+      const auto blocks = slice.blocks();
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const auto& o = out.fleet.outcomes[begin + i];
+        if (!o.cls.change_sensitive) continue;
+        local_agg.add_block(blocks[i].cell(),
+                            geo::countries()[blocks[i].country].continent,
+                            o.changes);
+      }
+
+      // Retire: drop the shard's series store and block population.
+      r = FleetResult{};
+      resident_bytes.fetch_sub(bytes);
+      slice.release();
+      resident.fetch_sub(1);
+    }
+    const std::lock_guard<std::mutex> lock(agg_mu);
+    out.aggregate.merge_from(local_agg);
+  };
+
+  if (n_workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  out.fleet.funnel = FunnelCounts{};
+  for (const auto& o : out.fleet.outcomes) out.fleet.funnel.add(o.cls);
+  out.fleet.degradation.finalize();
+
+  out.stats.shards = n_shards;
+  out.stats.shard_size = shard_size;
+  out.stats.blocks = total;
+  out.stats.workers = n_workers;
+  out.stats.intra_threads = static_cast<std::size_t>(intra_threads);
+  out.stats.peak_resident = peak_resident.load();
+  out.stats.peak_resident_bytes = peak_resident_bytes.load();
+  out.stats.series_bytes_retained =
+      shards.retain_series ? out.fleet.series.memory_bytes() : 0;
+  return out;
+}
+
+}  // namespace diurnal::core

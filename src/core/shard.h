@@ -1,0 +1,89 @@
+// Sharded fleet execution: the paper-scale drive (5.2M /24 blocks)
+// with a bounded resident set.
+//
+// A full run_fleet() materializes the whole world, every block's
+// reconstruction series, and all recon state at once — fine at 2k
+// blocks, hopeless at paper scale.  The shard scheduler instead
+// partitions the block universe into contiguous shards and, per shard:
+//
+//   materialize (sim::WorldSlice, from the world seed)
+//     -> probe -> faults -> repair -> merge -> recon -> analysis
+//        (one span-based StreamingFleet over the slice)
+//     -> fold outcomes/degradation into the global result,
+//        merge the shard's gridcell/continent aggregation,
+//        optionally copy series rows (retention is opt-in)
+//     -> retire (slice + shard SeriesStore freed)
+//
+// At most `max_resident` shards are alive at once, so peak memory is
+// O(resident shards * shard footprint + per-block verdicts), not
+// O(world * series).  Every per-block decision is a pure function of
+// the block's salted seed and the fleet config — blocks never interact
+// — so the partition is invisible in the output: the merged result is
+// bitwise-identical (same fleet digest) to an unsharded run at every
+// shard size, thread count, and fault plan.  tests/test_shard.cc and
+// bench_shard gate that contract; DESIGN.md section 10 documents it.
+#pragma once
+
+#include <cstddef>
+
+#include "core/aggregate.h"
+#include "core/pipeline.h"
+#include "sim/world_slice.h"
+
+namespace diurnal::core {
+
+struct ShardConfig {
+  /// Blocks per shard; 0 = one shard spanning the whole universe.
+  std::size_t shard_size = 4096;
+
+  /// Maximum shards resident (materialized but not yet retired) at
+  /// once.  Also caps shard-level workers: each worker holds at most
+  /// one resident shard.
+  std::size_t max_resident = 4;
+
+  /// Keep every block's reconstructed series in the merged result
+  /// (FleetResult::series).  Off by default: series are the dominant
+  /// per-block cost (stride doubles per block), and the funnel, changes
+  /// and aggregation do not need them after a shard retires.
+  bool retain_series = false;
+};
+
+/// Residency accounting for one sharded run.
+struct ShardStats {
+  std::size_t shards = 0;
+  std::size_t shard_size = 0;
+  std::size_t blocks = 0;         ///< universe size
+  std::size_t workers = 0;        ///< concurrent shard workers
+  std::size_t intra_threads = 0;  ///< threads inside each shard run
+  /// Most shards alive at any instant (must stay <= max_resident).
+  std::size_t peak_resident = 0;
+  /// Peak accounted bytes across resident shards: world slices plus
+  /// shard-local series stores (the structures sharding exists to
+  /// bound; excludes the global verdict arrays and worker scratch).
+  std::size_t peak_resident_bytes = 0;
+  /// Global series bytes kept because retain_series was set (0 = all
+  /// series memory was reclaimed at shard retirement).
+  std::size_t series_bytes_retained = 0;
+};
+
+struct ShardedFleetResult {
+  FleetResult fleet;          ///< outcomes/degradation over all blocks
+  ChangeAggregator aggregate; ///< gridcell/continent series, merged
+  ShardStats stats;
+};
+
+/// Runs the full pipeline over `world_config`'s universe in shards.
+/// The output contract: fleet_digest(result.fleet) equals the digest of
+/// run_fleet() over the materialized world with the same FleetConfig,
+/// and `aggregate` equals aggregate_changes() on that result.
+ShardedFleetResult run_sharded_fleet(const sim::WorldConfig& world_config,
+                                     const FleetConfig& config,
+                                     const ShardConfig& shards = {});
+
+/// Same, over a pre-built generator (shares special-block setup between
+/// phases of a bench).
+ShardedFleetResult run_sharded_fleet(const sim::BlockGenerator& generator,
+                                     const FleetConfig& config,
+                                     const ShardConfig& shards = {});
+
+}  // namespace diurnal::core

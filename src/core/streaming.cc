@@ -193,9 +193,9 @@ void StreamingFleet::detect_flush(BatchCtx& b) {
   b.n_slots = 0;
 }
 
-StreamingFleet::StreamingFleet(const sim::World& world,
+StreamingFleet::StreamingFleet(std::span<const sim::BlockProfile> blocks,
                                const FleetConfig& config)
-    : world_(world), config_(config) {
+    : blocks_(blocks), config_(config) {
   const DatasetSpec& classify_ds =
       config.classify_dataset ? *config.classify_dataset : config.dataset;
   window_ = config.dataset.window();
@@ -224,8 +224,8 @@ StreamingFleet::StreamingFleet(const sim::World& world,
   evidence_floor_ = config.classifier.min_evidence_fraction;
   threads_ = resolve_threads(config.threads);
 
-  result_.outcomes.resize(world.blocks().size());
-  result_.degradation.blocks.resize(world.blocks().size());
+  result_.outcomes.resize(blocks_.size());
+  result_.degradation.blocks.resize(blocks_.size());
   // One allocation for every block's detection-window series; rows are
   // bound to each reconstruction as it begins (stride mirrors
   // BlockReconState::begin()'s sample count).
@@ -235,7 +235,7 @@ StreamingFleet::StreamingFleet(const sim::World& world,
       (sstep <= 0 || dur <= 0)
           ? 0
           : static_cast<std::size_t>((dur + sstep - 1) / sstep);
-  store_.reset(world.blocks().size(), stride, window_.start, sstep);
+  store_.reset(blocks_.size(), stride, window_.start, sstep);
   clock_ = window_.start;
 }
 
@@ -273,7 +273,7 @@ void StreamingFleet::finish_result() {
 
 FleetResult StreamingFleet::run_to_completion() {
   assert(!finished_ && cells_.empty());
-  const auto& blocks = world_.blocks();
+  const auto& blocks = blocks_;
   const std::size_t width = batch_width();
   // Batched classification needs store-backed series that outlive the
   // per-block stream: only kSame binds every classification series to
@@ -388,7 +388,7 @@ FleetResult StreamingFleet::run_to_completion() {
 }
 
 void StreamingFleet::begin_cell(std::size_t i, probe::ProbeScratch& scratch) {
-  const auto& block = world_.blocks()[i];
+  const auto& block = blocks_[i];
   Cell& c = cells_[i];
   result_.outcomes[i].id = block.id;
   c.begun = true;
@@ -497,7 +497,7 @@ void StreamingFleet::update_provisional(std::size_t i,
 
 EpochReport StreamingFleet::advance_to(util::SimTime until) {
   assert(!finished_);
-  const auto& blocks = world_.blocks();
+  const auto& blocks = blocks_;
   cells_.resize(blocks.size());
   until = std::clamp(until, window_.start, window_.end);
   until = std::max(until, clock_);
@@ -595,7 +595,7 @@ EpochReport StreamingFleet::advance_to(util::SimTime until) {
 
 FleetResult StreamingFleet::finalize() {
   assert(!finished_);
-  const auto& blocks = world_.blocks();
+  const auto& blocks = blocks_;
   cells_.resize(blocks.size());
   const std::size_t width = batch_width();
   // Same batching contract as run_to_completion(): kSame batches the

@@ -69,7 +69,15 @@ struct EpochReport {
 class StreamingFleet {
  public:
   /// Borrows `world` and `config` for the engine's lifetime.
-  StreamingFleet(const sim::World& world, const FleetConfig& config);
+  StreamingFleet(const sim::World& world, const FleetConfig& config)
+      : StreamingFleet(std::span<const sim::BlockProfile>(world.blocks()),
+                       config) {}
+
+  /// Span form: drives any contiguous block population (a full world or
+  /// one shard's WorldSlice).  Outcomes/degradation/series rows align
+  /// with `blocks`; the storage must outlive the engine.
+  StreamingFleet(std::span<const sim::BlockProfile> blocks,
+                 const FleetConfig& config);
 
   util::SimTime window_start() const noexcept { return window_.start; }
   util::SimTime window_end() const noexcept { return window_.end; }
@@ -142,7 +150,7 @@ class StreamingFleet {
                           std::vector<ProvisionalChange>& out);
   void finish_result();
 
-  const sim::World& world_;
+  std::span<const sim::BlockProfile> blocks_;
   const FleetConfig& config_;
   Mode mode_ = Mode::kSame;
   probe::ProbeWindow window_{};           ///< detection window

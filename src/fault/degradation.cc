@@ -31,6 +31,13 @@ BlockDegradation summarize_block(
   return d;
 }
 
+void DegradationReport::absorb_rows(const DegradationReport& shard,
+                                    std::size_t offset) {
+  for (std::size_t i = 0; i < shard.blocks.size(); ++i) {
+    blocks[offset + i] = shard.blocks[i];
+  }
+}
+
 void DegradationReport::finalize() {
   probed_blocks = 0;
   degraded_blocks = 0;

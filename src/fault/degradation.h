@@ -61,6 +61,11 @@ struct DegradationReport {
 
   /// Recomputes the tallies from `blocks` (never-probed slots excluded).
   void finalize();
+
+  /// Copies a shard run's per-block rows into this report at `offset`
+  /// (the shard's first global block index).  Rows only — call
+  /// finalize() once every shard has been absorbed.
+  void absorb_rows(const DegradationReport& shard, std::size_t offset);
 };
 
 /// Folds what the observers delivered and what reconstruction covered

@@ -180,6 +180,14 @@ class BlockReconState {
   const std::vector<double>& samples() const noexcept { return samples_; }
   std::size_t observations() const noexcept { return observations_; }
 
+  /// Heap bytes held beyond sizeof(*this) — the per-worker residency
+  /// accounting the shard scheduler and bench_shard report.
+  std::size_t memory_bytes() const noexcept {
+    return samples_.capacity() * sizeof(double) +
+           gaps_.capacity() * sizeof(CoverageGap) +
+           fbs_spans_.capacity() * sizeof(double);
+  }
+
  private:
   void emit_until(std::int64_t rel_time) {
     double* const dst = bound_.empty() ? samples_.data() : bound_.data();

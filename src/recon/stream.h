@@ -99,6 +99,12 @@ class BlockStream {
 
   /// Post-fault observations delivered by all observers so far.
   std::size_t delivered_observations() const noexcept { return delivered_; }
+
+  /// Heap bytes this stream holds beyond sizeof(*this): per-observer
+  /// observation buffers plus both reconstructions' buffers.  A shard
+  /// worker's steady-state footprint is this plus its ProbeScratch —
+  /// the number bench_shard reports per resident stream.
+  std::size_t memory_bytes() const noexcept;
   /// The detection-window reconstruction state (stable emitted-sample
   /// prefix; provisional epoch analyses read this).
   const BlockReconState& recon_state() const noexcept { return recon_; }

@@ -112,9 +112,6 @@ class World {
 
  private:
   void generate();
-  BlockProfile make_block(net::BlockId id, std::uint64_t block_seed);
-  void resolve_events(BlockProfile& b, util::Xoshiro256& rng);
-  void add_special_blocks();
 
   WorldConfig config_;
   std::vector<BlockProfile> blocks_;

@@ -1,0 +1,334 @@
+#include "sim/world_slice.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/countries.h"
+
+namespace diurnal::sim {
+
+using geo::countries;
+using util::SimTime;
+using util::Xoshiro256;
+
+namespace {
+
+// Country sampling table built once per process (pure function of the
+// static country registry, so sharing it across generators is safe).
+struct CountryPicker {
+  std::vector<double> cumulative;
+  double total = 0.0;
+
+  CountryPicker() {
+    for (const auto& c : countries()) {
+      total += c.block_weight;
+      cumulative.push_back(total);
+    }
+  }
+
+  std::size_t pick(Xoshiro256& rng) const {
+    const double r = rng.uniform(0.0, total);
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<std::size_t>(it - cumulative.begin());
+  }
+};
+
+std::size_t pick_city(const geo::CountryInfo& c, Xoshiro256& rng) {
+  double total = 0.0;
+  for (const auto& city : c.cities) total += city.weight;
+  double r = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < c.cities.size(); ++i) {
+    r -= c.cities[i].weight;
+    if (r <= 0.0) return i;
+  }
+  return c.cities.size() - 1;
+}
+
+/// First synthetic block id; generated block i is kSyntheticBase + i.
+const std::uint32_t kSyntheticBase = net::BlockId::parse("1.0.0.0/24").id();
+
+}  // namespace
+
+BlockGenerator::BlockGenerator(WorldConfig config)
+    : config_(std::move(config)) {
+  if (config_.calendar.empty() && !config_.quiet_calendar) {
+    config_.calendar = default_calendar();
+  }
+  if (config_.include_special_blocks) add_special_blocks();
+}
+
+BlockProfile BlockGenerator::make(std::size_t index) const {
+  if (index < specials_.size()) return specials_[index];
+  return make_generated(static_cast<int>(index - specials_.size()));
+}
+
+BlockProfile BlockGenerator::make_generated(int i) const {
+  static const CountryPicker picker;
+  const net::BlockId id(kSyntheticBase + static_cast<std::uint32_t>(i));
+  const std::uint64_t block_seed =
+      util::derive_seed(config_.seed, id.id(), 0x810CBull);
+  Xoshiro256 rng(block_seed);
+
+  BlockProfile b;
+  b.id = id;
+  b.seed = util::mix64(block_seed);
+  b.stable_population = config_.stable_population;
+
+  const std::size_t ci = config_.only_country
+                             ? geo::country_index(*config_.only_country)
+                             : picker.pick(rng);
+  const auto& country = countries()[ci];
+  b.country = static_cast<std::uint16_t>(ci);
+  b.tz_offset_hours = static_cast<std::int16_t>(country.utc_offset_hours);
+  const auto& city = country.cities[pick_city(country, rng)];
+  b.lat = static_cast<float>(
+      std::clamp(city.lat + rng.normal(0.0, 0.35), -89.0, 89.0));
+  b.lon = static_cast<float>(city.lon + rng.normal(0.0, 0.35));
+
+  if (!rng.chance(config_.responsive_fraction)) {
+    b.category = rng.chance(0.7) ? BlockCategory::kUnused
+                                 : BlockCategory::kFirewalled;
+    b.eb_count = 0;
+    return b;
+  }
+
+  const double p_diurnal =
+      std::min(0.9, config_.diurnal_scale * country.diurnal_visible_fraction /
+                        0.30);
+  if (rng.chance(p_diurnal)) {
+    const double r = rng.uniform();
+    if (r < 0.45) {
+      b.category = BlockCategory::kOffice;
+      b.eb_count = static_cast<std::uint16_t>(16 + rng.below(145));
+      b.always_on = static_cast<std::uint16_t>(1 + rng.below(3));
+    } else if (r < 0.55) {
+      b.category = BlockCategory::kUniversity;
+      b.eb_count = static_cast<std::uint16_t>(64 + rng.below(193));
+      b.always_on = static_cast<std::uint16_t>(2 + rng.below(5));
+    } else {
+      b.category = BlockCategory::kHomeDynamic;
+      b.eb_count = static_cast<std::uint16_t>(24 + rng.below(177));
+      b.always_on = static_cast<std::uint16_t>(rng.below(3));
+    }
+    b.base_attendance = static_cast<float>(rng.uniform(0.85, 0.97));
+    b.current_fraction = static_cast<float>(rng.uniform(0.15, 0.6));
+  } else {
+    const double r = rng.uniform();
+    if (r < 0.36) {
+      b.category = BlockCategory::kNatGateway;
+      b.eb_count = static_cast<std::uint16_t>(1 + rng.below(8));
+      b.always_on = b.eb_count;
+    } else if (r < 0.58) {
+      b.category = BlockCategory::kServerFarm;
+      b.eb_count = static_cast<std::uint16_t>(16 + rng.below(241));
+      b.always_on = 0;
+    } else if (r < 0.94) {
+      b.category = BlockCategory::kIntermittent;
+      b.eb_count = static_cast<std::uint16_t>(8 + rng.below(89));
+      b.always_on = 0;
+      b.current_fraction = static_cast<float>(rng.uniform(0.3, 0.9));
+    } else {
+      b.category = BlockCategory::kMixed;
+      b.eb_count = static_cast<std::uint16_t>(16 + rng.below(113));
+      b.always_on = static_cast<std::uint16_t>(
+          std::max<std::uint64_t>(1, rng.below(b.eb_count / 2 + 1)));
+      b.base_attendance = static_cast<float>(rng.uniform(0.8, 0.95));
+      b.current_fraction = static_cast<float>(rng.uniform(0.02, 0.15));
+    }
+  }
+
+  resolve_events(b, rng);
+
+  // Occupancy windows for human-populated categories: some facilities
+  // open or close (or ISPs renumber users away) during the horizon.
+  if (is_diurnal_category(b.category) ||
+      b.category == BlockCategory::kMixed) {
+    const auto span =
+        static_cast<double>(config_.horizon_end - config_.horizon_start);
+    if (rng.chance(config_.occupancy_churn)) {
+      b.occupied_from = config_.horizon_start +
+                        static_cast<SimTime>(rng.uniform(0.1, 0.9) * span);
+    }
+    if (rng.chance(config_.occupancy_churn)) {
+      b.occupied_until = config_.horizon_start +
+                         static_cast<SimTime>(rng.uniform(0.1, 0.9) * span);
+    }
+    if (b.occupied_from >= 0 && b.occupied_until >= 0 &&
+        b.occupied_until < b.occupied_from + 30 * util::kSecondsPerDay) {
+      b.occupied_until = -1;  // keep at least a month of occupancy
+    }
+  }
+
+  // Whole-block outages (short; the outage filter in section 2.6 must
+  // discard the paired down/up changes they cause).
+  const double horizon_days =
+      static_cast<double>(config_.horizon_end - config_.horizon_start) /
+      util::kSecondsPerDay;
+  const int outages =
+      rng.poisson(config_.outage_rate_per_90d * horizon_days / 90.0);
+  for (int k = 0; k < outages; ++k) {
+    const SimTime start = config_.horizon_start +
+                          static_cast<SimTime>(rng.uniform() *
+                                               static_cast<double>(
+                                                   config_.horizon_end -
+                                                   config_.horizon_start));
+    const double dur = std::clamp(rng.exponential(2.0 * util::kSecondsPerHour),
+                                  600.0, 12.0 * util::kSecondsPerHour);
+    b.outages.push_back(
+        OutageInterval{start, start + static_cast<SimTime>(dur)});
+  }
+  std::sort(b.outages.begin(), b.outages.end(),
+            [](const OutageInterval& x, const OutageInterval& y) {
+              return x.start < y.start;
+            });
+
+  // Occasional ISP renumbering (paired down/up, section 2.6).
+  if (rng.chance(config_.renumber_probability)) {
+    b.renumber_at = config_.horizon_start +
+                    static_cast<SimTime>(
+                        rng.uniform(0.1, 0.9) *
+                        static_cast<double>(config_.horizon_end -
+                                            config_.horizon_start));
+  }
+  return b;
+}
+
+void BlockGenerator::resolve_events(BlockProfile& b,
+                                    Xoshiro256& rng) const {
+  const auto& country = countries()[b.country];
+  const auto matches = events_for(config_.calendar, country.code, b.cell(),
+                                  config_.horizon_start, config_.horizon_end);
+  for (const Event* e : matches) {
+    // Only blocks with human work schedules react.
+    if (!is_diurnal_category(b.category) &&
+        b.category != BlockCategory::kMixed) {
+      continue;
+    }
+    if (!rng.chance(e->adoption)) continue;
+    Suppression s;
+    s.kind = e->kind;
+    s.start = e->start;
+    s.end = e->end;
+    s.residual_attendance = e->residual_attendance;
+    if (e->kind == EventKind::kWorkFromHome) {
+      // Organizations adopted WFH within a few days of the order.
+      s.start += rng.range(-2, 3) * util::kSecondsPerDay;
+    }
+    b.suppressions.push_back(s);
+  }
+  std::sort(b.suppressions.begin(), b.suppressions.end(),
+            [](const Suppression& x, const Suppression& y) {
+              return x.start < y.start;
+            });
+}
+
+void BlockGenerator::add_special_blocks() {
+  const auto us = static_cast<std::uint16_t>(geo::country_index("US"));
+  const auto ae = static_cast<std::uint16_t>(geo::country_index("AE"));
+  const auto cn = static_cast<std::uint16_t>(geo::country_index("CN"));
+
+  // The paper's running example (Figure 1): a USC office block where WFH
+  // verifiably began on 2020-03-15.
+  {
+    BlockProfile b;
+    b.id = net::BlockId::parse("128.9.144.0/24");
+    b.category = BlockCategory::kOffice;
+    b.country = us;
+    b.tz_offset_hours = -8;
+    b.lat = 34.02f;
+    b.lon = -118.28f;
+    b.eb_count = 88;
+    b.always_on = 3;
+    b.seed = util::derive_seed(config_.seed, "usc-office");
+    b.base_attendance = 0.92f;
+    b.current_fraction = 0.18f;
+    b.suppressions.push_back(Suppression{util::time_of(2020, 3, 15),
+                                         config_.horizon_end, 0.08,
+                                         EventKind::kWorkFromHome});
+    b.suppressions.push_back(Suppression{util::time_of(2020, 1, 20),
+                                         util::time_of(2020, 1, 21), 0.1,
+                                         EventKind::kHoliday});
+    b.suppressions.push_back(Suppression{util::time_of(2020, 2, 17),
+                                         util::time_of(2020, 2, 18), 0.1,
+                                         EventKind::kHoliday});
+    usc_office_ = b.id;
+    specials_.push_back(std::move(b));
+  }
+  // The USC VPN block (Appendix B.2): steady heavy use, then the VPN
+  // migrates to a different block right as WFH begins.
+  {
+    BlockProfile b;
+    b.id = net::BlockId::parse("128.125.52.0/24");
+    b.category = BlockCategory::kOffice;
+    b.country = us;
+    b.tz_offset_hours = -8;
+    b.lat = 34.02f;
+    b.lon = -118.29f;
+    b.eb_count = 250;
+    b.always_on = 2;
+    b.seed = util::derive_seed(config_.seed, "usc-vpn");
+    b.base_attendance = 0.95f;
+    b.current_fraction = 0.80f;
+    b.vacate_at = util::time_of(2020, 3, 15);
+    usc_vpn_ = b.id;
+    specials_.push_back(std::move(b));
+  }
+  // A UAE block diurnal all seven days (Figure 11a) whose diurnal
+  // activity disappears with the lockdown.
+  {
+    BlockProfile b;
+    b.id = net::BlockId::parse("94.200.16.0/24");
+    b.category = BlockCategory::kUniversity;
+    b.country = ae;
+    b.tz_offset_hours = 4;
+    b.lat = 24.45f;
+    b.lon = 54.40f;
+    b.eb_count = 24;
+    b.always_on = 1;
+    b.seed = util::derive_seed(config_.seed, "uae-case");
+    b.base_attendance = 0.95f;
+    b.current_fraction = 0.85f;
+    b.suppressions.push_back(Suppression{util::time_of(2020, 3, 24),
+                                         config_.horizon_end, 0.08,
+                                         EventKind::kWorkFromHome});
+    uae_case_ = b.id;
+    specials_.push_back(std::move(b));
+  }
+  // A renumbered block (Figure 11b): a large mid-February down/up pair
+  // unrelated to Covid.
+  {
+    BlockProfile b;
+    b.id = net::BlockId::parse("222.18.96.0/24");
+    b.category = BlockCategory::kMixed;
+    b.country = cn;
+    b.tz_offset_hours = 8;
+    b.lat = 39.9f;
+    b.lon = 116.4f;
+    b.eb_count = 128;
+    b.always_on = 60;
+    b.seed = util::derive_seed(config_.seed, "renumber-case");
+    b.current_fraction = 0.60f;
+    b.renumber_at = util::time_of(2020, 2, 15);
+    renumber_case_ = b.id;
+    specials_.push_back(std::move(b));
+  }
+}
+
+void WorldSlice::materialize(const BlockGenerator& gen, std::size_t begin,
+                             std::size_t end) {
+  begin_ = begin;
+  blocks_.clear();
+  blocks_.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) blocks_.push_back(gen.make(i));
+}
+
+std::size_t WorldSlice::memory_bytes() const noexcept {
+  std::size_t bytes = blocks_.capacity() * sizeof(BlockProfile);
+  for (const auto& b : blocks_) {
+    bytes += b.suppressions.capacity() * sizeof(Suppression);
+    bytes += b.outages.capacity() * sizeof(OutageInterval);
+  }
+  return bytes;
+}
+
+}  // namespace diurnal::sim

@@ -1,0 +1,96 @@
+// Seed-addressable lazy world materialization.
+//
+// A World holds every BlockProfile of its universe resident; at the
+// paper's 5.2M-block scale that is gigabytes before a single probe is
+// simulated.  Because each block is generated from an independent
+// salted seed (derive_seed(world seed, block id, salt)), any block can
+// be materialized alone, bitwise-identical to its row in a fully
+// generated World.  BlockGenerator is that per-block generator — World
+// itself is now a thin loop over it — and WorldSlice materializes one
+// contiguous index range at a time so a shard scheduler can keep only
+// its resident shards' populations in memory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/block_profile.h"
+#include "sim/world.h"
+
+namespace diurnal::sim {
+
+/// Generates any block of a world configuration on demand.  Index space
+/// is identical to World::blocks(): the named case-study blocks first
+/// (when include_special_blocks), then the `num_blocks` sequential
+/// synthetic blocks.  Immutable and thread-safe after construction —
+/// concurrent make() calls from shard workers need no locking.
+class BlockGenerator {
+ public:
+  /// Resolves the config exactly as World's constructor does (default
+  /// calendar substitution) and pre-builds the few special blocks.
+  explicit BlockGenerator(WorldConfig config);
+
+  /// The resolved configuration (calendar filled in).
+  const WorldConfig& config() const noexcept { return config_; }
+
+  /// Total universe size: special blocks plus generated blocks.
+  std::size_t total_blocks() const noexcept {
+    return specials_.size() + static_cast<std::size_t>(config_.num_blocks);
+  }
+  std::size_t special_blocks() const noexcept { return specials_.size(); }
+
+  /// Materializes global block index `index` (< total_blocks()),
+  /// bitwise equal to World(config).blocks()[index].
+  BlockProfile make(std::size_t index) const;
+
+  // Named case-study block ids (valid when include_special_blocks).
+  net::BlockId usc_office_block() const noexcept { return usc_office_; }
+  net::BlockId usc_vpn_block() const noexcept { return usc_vpn_; }
+  net::BlockId uae_case_block() const noexcept { return uae_case_; }
+  net::BlockId renumber_case_block() const noexcept { return renumber_case_; }
+
+ private:
+  void add_special_blocks();
+  BlockProfile make_generated(int i) const;
+  void resolve_events(BlockProfile& b, util::Xoshiro256& rng) const;
+
+  WorldConfig config_;
+  std::vector<BlockProfile> specials_;
+  net::BlockId usc_office_{};
+  net::BlockId usc_vpn_{};
+  net::BlockId uae_case_{};
+  net::BlockId renumber_case_{};
+};
+
+/// One resident contiguous range of a world's block population.  Reuses
+/// its storage across materialize() calls; release() drops it entirely
+/// when the shard retires.
+class WorldSlice {
+ public:
+  /// Materializes blocks [begin, end) of `gen`'s universe.
+  void materialize(const BlockGenerator& gen, std::size_t begin,
+                   std::size_t end);
+
+  std::span<const BlockProfile> blocks() const noexcept { return blocks_; }
+  /// Global index of blocks().front().
+  std::size_t begin_index() const noexcept { return begin_; }
+  bool empty() const noexcept { return blocks_.empty(); }
+
+  /// Approximate resident footprint: block storage plus the per-block
+  /// suppression/outage vectors (the residency accounting the shard
+  /// scheduler budgets against).
+  std::size_t memory_bytes() const noexcept;
+
+  /// Frees the storage (shard retirement).
+  void release() noexcept {
+    blocks_.clear();
+    blocks_.shrink_to_fit();
+  }
+
+ private:
+  std::vector<BlockProfile> blocks_;
+  std::size_t begin_ = 0;
+};
+
+}  // namespace diurnal::sim

@@ -1,0 +1,34 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace diurnal::util {
+
+MemoryUsage read_memory_usage() noexcept {
+  MemoryUsage m;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return m;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      m.rss_kb = static_cast<std::size_t>(kb);
+      m.valid = true;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      m.peak_rss_kb = static_cast<std::size_t>(kb);
+      m.valid = true;
+    }
+  }
+  std::fclose(f);
+  return m;
+}
+
+bool reset_peak_rss() noexcept {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5\n", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace diurnal::util

@@ -1,0 +1,32 @@
+// Process-memory introspection for the capacity benches and the shard
+// scheduler's residency accounting.
+//
+// Peak RSS (VmHWM) is the honest "did the bounded-memory contract
+// hold?" number: it is charged by the kernel, so it catches allocator
+// slack, page-table overhead, and thread stacks that allocation
+// counters miss.  Linux exposes it in /proc/self/status and lets a
+// process reset its own high-water mark through /proc/self/clear_refs,
+// which is what lets one bench measure several phases independently.
+// On non-Linux platforms everything degrades to zeros and callers must
+// treat the numbers as unavailable rather than "zero bytes used".
+#pragma once
+
+#include <cstddef>
+
+namespace diurnal::util {
+
+struct MemoryUsage {
+  std::size_t rss_kb = 0;       ///< VmRSS: resident set right now
+  std::size_t peak_rss_kb = 0;  ///< VmHWM: high-water mark since reset
+  bool valid = false;           ///< false when /proc is unavailable
+};
+
+/// Reads VmRSS/VmHWM from /proc/self/status.
+MemoryUsage read_memory_usage() noexcept;
+
+/// Resets the peak-RSS high-water mark to the current RSS (writes "5"
+/// to /proc/self/clear_refs).  Returns false when unsupported; callers
+/// then get process-lifetime peaks instead of per-phase ones.
+bool reset_peak_rss() noexcept;
+
+}  // namespace diurnal::util

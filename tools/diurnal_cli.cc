@@ -4,6 +4,7 @@
 //                        [--classify D2] [--country CC] [--out PREFIX]
 //                        [--fault SCENARIO] [--discover] [--validate]
 //                        [--stream] [--epoch=DUR]
+//                        [--shards N | --shard-size S] [--max-resident M]
 //   diurnal_cli block    [--dataset D] [--id A.B.C.0/24 | --usc | --vpn]
 //                        [--fault SCENARIO]
 //   diurnal_cli datasets
@@ -19,7 +20,10 @@
 // `--stream` drives the fleet incrementally, one epoch (--epoch=1d, 6h,
 // 660s, ...) at a time, printing per-epoch delivery counts and
 // provisional change alarms before the authoritative final result —
-// which is bit-identical to the batch run.
+// which is bit-identical to the batch run.  `--shards`/`--shard-size`
+// select the bounded-memory sharded drive (blocks materialized lazily,
+// at most --max-resident shards alive; results bit-identical to the
+// unsharded run) and print residency stats plus peak RSS.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,11 +35,13 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/shard.h"
 #include "core/streaming.h"
 #include "fault/fault_plan.h"
 #include "geo/countries.h"
 #include "recon/block_recon.h"
 #include "util/date.h"
+#include "util/mem.h"
 #include "util/table.h"
 
 using namespace diurnal;
@@ -58,6 +64,10 @@ struct Args {
   bool validate = false;
   bool stream = false;
   std::int64_t epoch = util::kSecondsPerDay;
+  // Sharded execution (any of these selects the bounded-memory drive).
+  std::size_t shards = 0;        ///< partition into N shards
+  std::size_t shard_size = 0;    ///< ... or into shards of S blocks
+  std::size_t max_resident = 0;  ///< resident-shard cap (default 4)
 };
 
 /// Parses "1d", "6h", "90m", "660s", or bare seconds.
@@ -89,6 +99,8 @@ std::int64_t parse_duration(const std::string& s) {
                "                       [--out PREFIX] [--fault SCENARIO]\n"
                "                       [--discover] [--validate]\n"
                "                       [--stream] [--epoch=DUR]\n"
+               "                       [--shards N | --shard-size S]\n"
+               "                       [--max-resident M]\n"
                "       diurnal_cli block [--dataset D] [--id A.B.C.0/24|--usc|--vpn]\n"
                "                       [--fault SCENARIO]\n"
                "       diurnal_cli datasets | sites | faults\n");
@@ -118,6 +130,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--discover") a.discover = true;
     else if (flag == "--validate") a.validate = true;
     else if (flag == "--stream") a.stream = true;
+    else if (flag == "--shards") a.shards = std::strtoull(value().c_str(), nullptr, 10);
+    else if (flag == "--shard-size") a.shard_size = std::strtoull(value().c_str(), nullptr, 10);
+    else if (flag == "--max-resident") a.max_resident = std::strtoull(value().c_str(), nullptr, 10);
     else if (flag == "--epoch") a.epoch = parse_duration(value());
     else if (flag.rfind("--epoch=", 0) == 0)
       a.epoch = parse_duration(flag.substr(8));
@@ -126,12 +141,70 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+void print_funnel_line(const core::FunnelCounts& f) {
+  std::printf("funnel: routed %lld | responsive %lld | diurnal %lld | "
+              "wide %lld | change-sensitive %lld\n",
+              static_cast<long long>(f.routed),
+              static_cast<long long>(f.responsive),
+              static_cast<long long>(f.diurnal),
+              static_cast<long long>(f.wide_swing),
+              static_cast<long long>(f.change_sensitive));
+}
+
+/// The bounded-memory drive: the world is never materialized whole, so
+/// report paths that need it (--out, --validate) or a streaming engine
+/// (--stream) are rejected rather than silently forcing a full build.
+int cmd_run_sharded(const Args& a, const sim::WorldConfig& wc,
+                    const core::FleetConfig& fc) {
+  if (a.out_prefix || a.validate || a.stream) {
+    std::fprintf(stderr, "--out/--validate/--stream need the whole world "
+                         "resident; drop --shards/--shard-size\n");
+    return 2;
+  }
+  const sim::BlockGenerator gen(wc);
+  core::ShardConfig sc;
+  if (a.shard_size > 0) {
+    sc.shard_size = a.shard_size;
+  } else if (a.shards > 0) {
+    sc.shard_size = (gen.total_blocks() + a.shards - 1) / a.shards;
+  }
+  if (a.max_resident > 0) sc.max_resident = a.max_resident;
+
+  const auto r = core::run_sharded_fleet(gen, fc, sc);
+  print_funnel_line(r.fleet.funnel);
+  if (a.fault_scenario) {
+    const auto& d = r.fleet.degradation;
+    std::printf("degraded fleet (--fault %s): %lld/%lld blocks degraded, "
+                "%lld low-confidence\n",
+                a.fault_scenario->c_str(),
+                static_cast<long long>(d.degraded_blocks),
+                static_cast<long long>(d.probed_blocks),
+                static_cast<long long>(d.low_confidence_blocks));
+  }
+  std::printf("shards: %zu of %zu blocks, %zu workers x %zu threads, "
+              "peak resident %zu/%zu (%.1f MB accounted)\n",
+              r.stats.shards, r.stats.shard_size, r.stats.workers,
+              r.stats.intra_threads, r.stats.peak_resident, sc.max_resident,
+              static_cast<double>(r.stats.peak_resident_bytes) / 1048576.0);
+  const auto mem = util::read_memory_usage();
+  if (mem.valid) {
+    std::printf("memory: RSS %zu KB, peak %zu KB\n", mem.rss_kb,
+                mem.peak_rss_kb);
+  }
+  if (a.discover) {
+    std::printf("\ndiscovered regional events:\n");
+    for (const auto& ev : core::discover_events(r.aggregate)) {
+      std::printf("  %s\n", ev.to_string().c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_run(const Args& a) {
   sim::WorldConfig wc;
   wc.num_blocks = a.blocks;
   wc.seed = a.seed;
   wc.only_country = a.country;
-  const sim::World world(wc);
 
   core::FleetConfig fc;
   fc.dataset = core::dataset(a.dataset);
@@ -139,6 +212,11 @@ int cmd_run(const Args& a) {
   if (a.fault_scenario) {
     fc.faults = fault::scenario(*a.fault_scenario, fc.dataset.window());
   }
+  if (a.shards > 0 || a.shard_size > 0 || a.max_resident > 0) {
+    return cmd_run_sharded(a, wc, fc);
+  }
+  const sim::World world(wc);
+
   core::FleetResult fleet;
   if (a.stream) {
     core::StreamingFleet engine(world, fc);
@@ -167,14 +245,7 @@ int cmd_run(const Args& a) {
   } else {
     fleet = core::run_fleet(world, fc);
   }
-  const auto& f = fleet.funnel;
-  std::printf("funnel: routed %lld | responsive %lld | diurnal %lld | "
-              "wide %lld | change-sensitive %lld\n",
-              static_cast<long long>(f.routed),
-              static_cast<long long>(f.responsive),
-              static_cast<long long>(f.diurnal),
-              static_cast<long long>(f.wide_swing),
-              static_cast<long long>(f.change_sensitive));
+  print_funnel_line(fleet.funnel);
   if (a.fault_scenario) {
     const auto& d = fleet.degradation;
     std::printf("degraded fleet (--fault %s): %lld/%lld blocks degraded, "

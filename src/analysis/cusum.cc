@@ -112,6 +112,67 @@ CusumResult OnlineCusum::finish() {
   return res;
 }
 
+void OnlineCusum::save(util::StateWriter& w) const {
+  w.f64(opt_.threshold);
+  w.f64(opt_.drift);
+  w.f64_span(x_);
+  w.f64_span(g_pos_);
+  w.f64_span(g_neg_);
+  w.u64(changes_.size());
+  for (const ChangePoint& cp : changes_) {
+    w.u64(cp.start);
+    w.u64(cp.alarm);
+    w.u64(cp.end);
+    w.u8(cp.direction == ChangeDirection::kUp ? 1 : 0);
+    w.f64(cp.amplitude);
+  }
+  w.u64(i_);
+  w.f64(gp_);
+  w.f64(gn_);
+  w.u64(tap_);
+  w.u64(tan_);
+  w.boolean(excursion_);
+  w.boolean(up_);
+  w.f64(g_);
+  w.f64(peak_);
+  w.u64(start_);
+  w.u64(alarm_);
+  w.u64(end_);
+  w.u64(j_);
+}
+
+void OnlineCusum::restore(util::StateReader& r) {
+  opt_.threshold = r.f64();
+  opt_.drift = r.f64();
+  r.f64_span(x_);
+  r.f64_span(g_pos_);
+  r.f64_span(g_neg_);
+  const std::uint64_t n = r.u64();
+  changes_.clear();
+  for (std::uint64_t k = 0; k < n; ++k) {
+    ChangePoint cp;
+    cp.start = r.u64();
+    cp.alarm = r.u64();
+    cp.end = r.u64();
+    cp.direction = r.u8() != 0 ? ChangeDirection::kUp : ChangeDirection::kDown;
+    cp.amplitude = r.f64();
+    changes_.push_back(cp);
+  }
+  i_ = r.u64();
+  gp_ = r.f64();
+  gn_ = r.f64();
+  tap_ = r.u64();
+  tan_ = r.u64();
+  excursion_ = r.boolean();
+  up_ = r.boolean();
+  g_ = r.f64();
+  peak_ = r.f64();
+  start_ = r.u64();
+  alarm_ = r.u64();
+  end_ = r.u64();
+  j_ = r.u64();
+}
+
 CusumResult cusum_detect(std::span<const double> x, const CusumOptions& opt) {
   OnlineCusum c;
   c.begin(opt);

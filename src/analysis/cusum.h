@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "util/state_io.h"
 #include "util/timeseries.h"
 
 namespace diurnal::analysis {
@@ -90,6 +91,14 @@ class OnlineCusum {
   /// state is spent afterwards; call begin() to reuse it (moved-out
   /// buffers are re-allocated — prefer end_of_stream() in reuse loops).
   CusumResult finish();
+
+  /// Serializes the complete machine — options, pushed samples,
+  /// accumulator trajectories, confirmed changes and any open
+  /// excursion.  restore() needs no begin(): it overwrites everything,
+  /// after which push()/end_of_stream() continue bitwise-identically to
+  /// the saved scan.
+  void save(util::StateWriter& w) const;
+  void restore(util::StateReader& r);
 
  private:
   void drive(bool at_end);

@@ -11,6 +11,7 @@
 #include "core/detect.h"
 #include "geo/countries.h"
 #include "geo/gridcell.h"
+#include "util/state_io.h"
 
 namespace diurnal::core {
 
@@ -65,6 +66,14 @@ class ChangeAggregator {
   const RegionDaySeries& continent(geo::Continent c) const noexcept {
     return by_continent_[static_cast<std::size_t>(c)];
   }
+
+  /// Serializes the window plus every gridcell/continent day series.
+  /// restore() overwrites this aggregator completely (any window), so a
+  /// default-constructed instance is a valid target.  A restored
+  /// aggregator merge_from()s and is merged exactly like the original —
+  /// the shard checkpoint files rely on this.
+  void save(util::StateWriter& w) const;
+  void restore(util::StateReader& r);
 
   /// Gridcells with at least `min_blocks` change-sensitive blocks,
   /// ordered by descending block count (for the Figure 7/9/10 maps).

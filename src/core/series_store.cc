@@ -1,5 +1,8 @@
 #include "core/series_store.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace diurnal::core {
 
 void SeriesStore::reset(std::size_t rows, std::size_t stride,
@@ -9,6 +12,38 @@ void SeriesStore::reset(std::size_t rows, std::size_t stride,
   step_ = step <= 0 ? 1 : step;
   data_.resize(rows * stride);  // default-init: rows are written by owners
   len_.assign(rows, 0);
+}
+
+void SeriesStore::save(util::StateWriter& w) const {
+  w.u64(rows());
+  w.u64(stride_);
+  w.i64(start_);
+  w.i64(step_);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    w.f64_span(series(i));
+  }
+}
+
+void SeriesStore::restore(util::StateReader& r) {
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t stride = r.u64();
+  const util::SimTime start = r.i64();
+  const std::int64_t step = r.i64();
+  reset(static_cast<std::size_t>(rows), static_cast<std::size_t>(stride),
+        start, step);
+  std::vector<double> row_buf;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    r.f64_span(row_buf);
+    if (row_buf.size() > stride) {
+      throw util::StateError(util::StateErrorKind::kBadValue,
+                             "series row longer than the stride");
+    }
+    auto dst = row(static_cast<std::size_t>(i));
+    std::copy(row_buf.begin(), row_buf.end(), dst.begin());
+    std::fill(dst.begin() + static_cast<std::ptrdiff_t>(row_buf.size()),
+              dst.end(), 0.0);
+    set_len(static_cast<std::size_t>(i), row_buf.size());
+  }
 }
 
 }  // namespace diurnal::core

@@ -22,6 +22,7 @@
 
 #include "util/date.h"
 #include "util/default_init_allocator.h"
+#include "util/state_io.h"
 
 namespace diurnal::core {
 
@@ -56,6 +57,14 @@ class SeriesStore {
     len_[i] = static_cast<std::uint32_t>(n);
   }
   std::size_t len(std::size_t i) const noexcept { return len_[i]; }
+
+  /// Serializes geometry, per-row lengths and each row's written
+  /// prefix (the tail past len(i) is indeterminate by contract and is
+  /// not stored).  restore() re-reset()s to the stored geometry, so a
+  /// default-constructed store is a valid target; unwritten tails come
+  /// back zero-filled.
+  void save(util::StateWriter& w) const;
+  void restore(util::StateReader& r);
 
   /// Heap bytes held (sample buffer + length column) — the dominant
   /// per-shard residency cost the shard scheduler accounts for.

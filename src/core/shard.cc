@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/streaming.h"
 #include "geo/countries.h"
 
@@ -82,12 +84,72 @@ ShardedFleetResult run_sharded_fleet(const sim::BlockGenerator& generator,
   std::atomic<std::size_t> peak_resident_bytes{0};
   std::mutex agg_mu;
 
+  // Checkpoint/resume prologue: fold every loadable completed shard
+  // into the global result before any worker starts; `done` shards are
+  // skipped by the claim loop.  Any StateError (missing file, flipped
+  // byte, truncation, foreign fingerprint) just leaves the shard to be
+  // recomputed — a bad checkpoint can cost time, never correctness.
+  std::optional<CheckpointManager> ckpt;
+  std::vector<char> done(n_shards, 0);
+  std::size_t resumed = 0;
+  if (!shards.checkpoint_dir.empty()) {
+    ckpt.emplace(shards.checkpoint_dir,
+                 checkpoint_fingerprint(generator.config(), config, shard_size),
+                 total, shard_size, shards.checkpoint_every);
+    if (shards.resume) {
+      std::vector<std::size_t> listed;
+      try {
+        listed = ckpt->load_manifest();
+      } catch (const util::StateError&) {
+        listed.clear();  // corrupt or foreign manifest: fresh run
+      }
+      for (const std::size_t k : listed) {
+        if (k >= n_shards) continue;
+        try {
+          ShardCheckpoint sc = ckpt->load_shard(k);
+          if (shards.retain_series && !sc.has_series) {
+            continue;  // recorded without series: recompute for this run
+          }
+          for (std::size_t i = 0; i < sc.outcomes.size(); ++i) {
+            out.fleet.outcomes[sc.begin + i] = std::move(sc.outcomes[i]);
+            out.fleet.degradation.blocks[sc.begin + i] = sc.degradation[i];
+          }
+          out.aggregate.merge_from(sc.aggregate);
+          if (shards.retain_series) {
+            for (std::size_t i = 0; i < sc.series.rows(); ++i) {
+              const auto src = sc.series.series(i);
+              const auto dst = out.fleet.series.row(sc.begin + i);
+              std::memcpy(dst.data(), src.data(), src.size() * sizeof(double));
+              out.fleet.series.set_len(sc.begin + i, src.size());
+            }
+          }
+          done[k] = 1;
+          ++resumed;
+        } catch (const util::StateError&) {
+          // unreadable shard file: recompute it below
+        }
+      }
+    }
+  }
+
+  std::atomic<std::size_t> claimed{0};
+  std::atomic<std::size_t> computed{0};
+
   auto worker = [&] {
     sim::WorldSlice slice;
     ChangeAggregator local_agg(window.start, window.end);
     for (;;) {
       const std::size_t k = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (k >= n_shards) break;
+      if (done[k]) continue;
+      // The kill-mid-run cap counts claims, not completions, so a capped
+      // run processes exactly min(cap, remaining) shards at any worker
+      // count (the checkpoint tests rely on the exact count).
+      if (shards.max_shards != 0 &&
+          claimed.fetch_add(1, std::memory_order_relaxed) >=
+              shards.max_shards) {
+        break;
+      }
       const std::size_t begin = k * shard_size;
       const std::size_t end = std::min(begin + shard_size, total);
 
@@ -120,14 +182,26 @@ ShardedFleetResult run_sharded_fleet(const sim::BlockGenerator& generator,
         }
       }
       // Aggregate while the slice (block locations) is still resident.
+      // With checkpointing the shard gets its own aggregator — its
+      // series is what the checkpoint file stores (merge_from is
+      // commutative, so folding it into local_agg afterwards reproduces
+      // the uncheckpointed accumulation exactly).
+      ChangeAggregator shard_agg(window.start, window.end);
+      ChangeAggregator& agg = ckpt ? shard_agg : local_agg;
       const auto blocks = slice.blocks();
       for (std::size_t i = 0; i < blocks.size(); ++i) {
         const auto& o = out.fleet.outcomes[begin + i];
         if (!o.cls.change_sensitive) continue;
-        local_agg.add_block(blocks[i].cell(),
-                            geo::countries()[blocks[i].country].continent,
-                            o.changes);
+        agg.add_block(blocks[i].cell(),
+                      geo::countries()[blocks[i].country].continent,
+                      o.changes);
       }
+      if (ckpt) {
+        ckpt->record_shard(k, begin, end, out.fleet, shard_agg,
+                           shards.retain_series);
+        local_agg.merge_from(shard_agg);
+      }
+      computed.fetch_add(1, std::memory_order_relaxed);
 
       // Retire: drop the shard's series store and block population.
       r = FleetResult{};
@@ -148,6 +222,8 @@ ShardedFleetResult run_sharded_fleet(const sim::BlockGenerator& generator,
     for (auto& t : pool) t.join();
   }
 
+  if (ckpt) ckpt->flush_manifest();
+
   out.fleet.funnel = FunnelCounts{};
   for (const auto& o : out.fleet.outcomes) out.fleet.funnel.add(o.cls);
   out.fleet.degradation.finalize();
@@ -161,6 +237,8 @@ ShardedFleetResult run_sharded_fleet(const sim::BlockGenerator& generator,
   out.stats.peak_resident_bytes = peak_resident_bytes.load();
   out.stats.series_bytes_retained =
       shards.retain_series ? out.fleet.series.memory_bytes() : 0;
+  out.stats.resumed_shards = resumed;
+  out.stats.completed_shards = computed.load();
   return out;
 }
 

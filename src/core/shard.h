@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/aggregate.h"
 #include "core/pipeline.h"
@@ -46,6 +47,30 @@ struct ShardConfig {
   /// per-block cost (stride doubles per block), and the funnel, changes
   /// and aggregation do not need them after a shard retires.
   bool retain_series = false;
+
+  /// Directory for shard checkpoint files (core/checkpoint.h); empty
+  /// disables checkpointing.  Each completed shard's outputs are written
+  /// atomically as `shard-<k>.ckpt` plus a `manifest.ckpt` of completed
+  /// ids, keyed by a fingerprint of the world/fleet configuration.
+  std::string checkpoint_dir;
+
+  /// Resume: before computing anything, load every manifest-listed
+  /// shard from checkpoint_dir and fold it into the result; only the
+  /// remaining shards run.  A missing/corrupt/mismatched checkpoint is
+  /// never fatal — that shard is simply recomputed (and re-recorded).
+  bool resume = false;
+
+  /// Rewrite the manifest every N completed shards (1 = after each; the
+  /// final manifest always flushes).  Larger values trade crash-resume
+  /// granularity for fewer small writes on big worlds.
+  std::size_t checkpoint_every = 1;
+
+  /// Stop after computing this many shards this run (0 = no cap).
+  /// Already-resumed shards do not count.  This is the deterministic
+  /// kill-mid-run harness: run with a cap, then resume without one and
+  /// the merged result must be bitwise-identical to an uninterrupted
+  /// run (tests/test_checkpoint.cc).
+  std::size_t max_shards = 0;
 };
 
 /// Residency accounting for one sharded run.
@@ -64,6 +89,10 @@ struct ShardStats {
   /// Global series bytes kept because retain_series was set (0 = all
   /// series memory was reclaimed at shard retirement).
   std::size_t series_bytes_retained = 0;
+  /// Shards folded in from checkpoint files instead of being computed.
+  std::size_t resumed_shards = 0;
+  /// Shards computed (and, with a checkpoint_dir, recorded) this run.
+  std::size_t completed_shards = 0;
 };
 
 struct ShardedFleetResult {

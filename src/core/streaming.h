@@ -97,6 +97,23 @@ class StreamingFleet {
   /// was chopped into epochs.
   FleetResult finalize();
 
+  /// High-water mark of the incremental drive (the next advance/resume
+  /// point).  window_start() until the first advance.
+  util::SimTime clock() const noexcept { return clock_; }
+
+  /// Serializes the incremental drive's complete mid-window state:
+  /// every cell's reconstruction stream, provisional-detector moments
+  /// and CUSUM, plus any mid-run classification verdicts.  Valid only
+  /// between advances (never after finalize()).  restore() targets a
+  /// freshly constructed engine over the same blocks and FleetConfig —
+  /// it re-begins each cell's stream internally, then overwrites the
+  /// mutable state, so advance/finalize after restore are bit-identical
+  /// to an uninterrupted run (tests/test_checkpoint.cc gates this at
+  /// every epoch boundary).  A mismatched window, mode, or block count
+  /// throws StateError(kBadValue).
+  void save(util::StateWriter& w) const;
+  void restore(util::StateReader& r);
+
  private:
   /// How the classification pass relates to the detection pass.
   enum class Mode {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "probe/prober.h"
+#include "util/state_io.h"
 #include "util/timeseries.h"
 
 namespace diurnal::recon {
@@ -174,6 +175,22 @@ class BlockReconState {
   /// would.  The state is untouched; the emitted prefix of
   /// series_view() is the matching series.
   void snapshot_stats(ReconStats& out) const;
+
+  /// Serializes every mutable field plus the emitted-sample prefix.
+  /// Everything begin() derives from its arguments (window geometry,
+  /// options, sample capacity) is *not* written — the restore contract
+  /// is: call begin() (and bind_output(), if the original was bound)
+  /// with identical arguments, then restore().  Checked fields
+  /// (eb_count, sample count) guard against restoring into a state
+  /// begun with different arguments.
+  void save(util::StateWriter& w) const;
+  /// Overwrites the mutable state from `r`; the emitted prefix lands in
+  /// the current destination (bound row or owned buffer).  After this,
+  /// the machine continues exactly where the saved one stopped: pushes,
+  /// snapshots and finalize are bitwise-identical to an uninterrupted
+  /// run.  Throws util::StateError and leaves the state unusable (call
+  /// begin() again) on a corrupt or mismatched image.
+  void restore(util::StateReader& r);
 
   /// Number of samples emitted so far (the stable prefix of samples()).
   std::size_t emitted() const noexcept { return next_sample_; }

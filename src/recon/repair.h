@@ -14,6 +14,7 @@
 #include <cstddef>
 
 #include "probe/prober.h"
+#include "util/state_io.h"
 
 namespace diurnal::recon {
 
@@ -65,6 +66,12 @@ class StreamRepair {
   std::size_t finish() noexcept { return processed_; }
 
   const RepairStats& stats() const noexcept { return stats_; }
+
+  /// Serializes the per-address hold table, the processed frontier and
+  /// the running stats; restore() overwrites them so ingest() continues
+  /// exactly where the saved machine stopped.
+  void save(util::StateWriter& w) const;
+  void restore(util::StateReader& r);
 
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);

@@ -224,6 +224,103 @@ void BlockStream::finalize_stats(DegradedReconStats& out) {
   fill_observers(out.observers);
 }
 
+void BlockStream::save(util::StateWriter& w) const {
+  w.boolean(classify_pending_);
+  w.u64(delivered_);
+  w.u64(streams_.size());
+  for (const Stream& s : streams_) {
+    w.i64(s.state.next_round);
+    w.u64(s.state.cursor);
+    w.i64(s.state.rounds_since_positive);
+    w.boolean(s.state.done);
+    w.i64(s.carry.trunc_round);
+    w.boolean(s.carry.trunc_fired);
+    w.boolean(s.carry.trunc_kept_first);
+    w.u64(s.stats.input);
+    w.u64(s.stats.dropped);
+    w.u64(s.stats.corrupted);
+    w.u64(s.stats.retimed);
+    s.repair.save(w);
+    // The pending buffer: timestamps are non-decreasing, so they
+    // delta-encode to ~1 varint byte each.
+    w.u64(s.buf.size());
+    std::uint32_t prev_rel = 0;
+    for (const probe::Observation& obs : s.buf) {
+      w.u32(obs.rel_time - prev_rel);
+      prev_rel = obs.rel_time;
+      w.u8(obs.addr);
+      w.boolean(obs.up);
+    }
+    w.u64(s.base);
+    w.u64(s.released);
+    w.u64(s.consumed);
+    w.u64(s.delivered);
+    w.u32(s.first_rel);
+    w.u32(s.last_rel);
+  }
+  recon_.save(w);
+  if (classify_pending_) classify_recon_.save(w);
+}
+
+void BlockStream::restore(util::StateReader& r) {
+  const bool saved_classify_pending = r.boolean();
+  // begin() ran in the same mode (classify_end decides); the saved pass
+  // may additionally have retired its classification fork already.
+  if (saved_classify_pending && !classify_pending_) {
+    throw util::StateError(util::StateErrorKind::kBadValue,
+                           "stream state was saved in union-window mode");
+  }
+  delivered_ = r.u64();
+  if (r.u64() != streams_.size()) {
+    throw util::StateError(util::StateErrorKind::kBadValue,
+                           "stream state was saved with a different "
+                           "observer set");
+  }
+  for (Stream& s : streams_) {
+    s.state.next_round = r.i64();
+    s.state.cursor = r.u64();
+    s.state.rounds_since_positive = static_cast<int>(r.i64());
+    s.state.done = r.boolean();
+    s.carry.trunc_round = r.i64();
+    s.carry.trunc_fired = r.boolean();
+    s.carry.trunc_kept_first = r.boolean();
+    s.stats.input = r.u64();
+    s.stats.dropped = r.u64();
+    s.stats.corrupted = r.u64();
+    s.stats.retimed = r.u64();
+    s.repair.restore(r);
+    const std::uint64_t n = r.u64();
+    s.buf.clear();
+    std::uint32_t prev_rel = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      probe::Observation obs;
+      obs.rel_time = prev_rel + r.u32();
+      prev_rel = obs.rel_time;
+      obs.addr = r.u8();
+      obs.up = r.boolean();
+      s.buf.push_back(obs);
+    }
+    s.base = r.u64();
+    s.released = r.u64();
+    s.consumed = r.u64();
+    s.delivered = r.u64();
+    s.first_rel = r.u32();
+    s.last_rel = r.u32();
+    if (s.consumed < s.base || s.released < s.base ||
+        s.consumed > s.base + s.buf.size() ||
+        s.released > s.base + s.buf.size()) {
+      throw util::StateError(util::StateErrorKind::kBadValue,
+                             "stream cursors outside the buffered range");
+    }
+  }
+  recon_.restore(r);
+  if (saved_classify_pending) {
+    classify_recon_.restore(r);
+  } else {
+    classify_pending_ = false;
+  }
+}
+
 std::size_t BlockStream::memory_bytes() const noexcept {
   std::size_t bytes = streams_.capacity() * sizeof(Stream);
   for (const auto& s : streams_) {

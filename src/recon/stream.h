@@ -100,6 +100,18 @@ class BlockStream {
   /// Post-fault observations delivered by all observers so far.
   std::size_t delivered_observations() const noexcept { return delivered_; }
 
+  /// Serializes the whole resumable pass: every observer stream's
+  /// prober/fault/repair state, its pending observation buffer and the
+  /// merge cursors, plus both reconstructions.  Config-derived setup
+  /// (observer specs, prober configs, skew resolutions) is not written.
+  void save(util::StateWriter& w) const;
+  /// Restore contract: call begin() with the identical block, config
+  /// and classify_end (and bind_series() if the original was bound),
+  /// then restore().  Afterwards any advance/finalize schedule is
+  /// bitwise-identical to continuing the saved stream.  Throws
+  /// util::StateError on a corrupt or mismatched image.
+  void restore(util::StateReader& r);
+
   /// Heap bytes this stream holds beyond sizeof(*this): per-observer
   /// observation buffers plus both reconstructions' buffers.  A shard
   /// worker's steady-state footprint is this plus its ProbeScratch —

@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <cstring>
 
+#ifdef __linux__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace diurnal::util {
 
 MemoryUsage read_memory_usage() noexcept {
@@ -25,10 +30,32 @@ MemoryUsage read_memory_usage() noexcept {
 }
 
 bool reset_peak_rss() noexcept {
-  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
-  if (f == nullptr) return false;
-  const bool ok = std::fputs("5\n", f) >= 0;
-  return (std::fclose(f) == 0) && ok;
+#ifdef __linux__
+  // Unbuffered write so the syscall's own result is what we check:
+  // sandboxed /proc mounts commonly accept open() and fail the write
+  // (or worse, swallow it), which buffered stdio only surfaces at
+  // fclose — or not at all.
+  const int fd = ::open("/proc/self/clear_refs", O_WRONLY);
+  if (fd < 0) return false;
+  const ssize_t wrote = ::write(fd, "5\n", 2);
+  const bool closed = ::close(fd) == 0;
+  if (wrote != 2 || !closed) return false;
+  // Verify the reset took: clear_refs mode 5 snaps VmHWM down to the
+  // current VmRSS, so a high-water mark still far above the resident
+  // set means the kernel ignored the write.  The slack absorbs the
+  // pages this function itself may have touched.
+  const MemoryUsage m = read_memory_usage();
+  if (!m.valid) return false;
+  constexpr std::size_t kSlackKb = 4096;
+  return m.peak_rss_kb <= m.rss_kb + kSlackKb;
+#else
+  return false;
+#endif
+}
+
+bool peak_reset_supported() noexcept {
+  static const bool supported = reset_peak_rss();
+  return supported;
 }
 
 }  // namespace diurnal::util

@@ -27,6 +27,19 @@ MemoryUsage read_memory_usage() noexcept;
 /// Resets the peak-RSS high-water mark to the current RSS (writes "5"
 /// to /proc/self/clear_refs).  Returns false when unsupported; callers
 /// then get process-lifetime peaks instead of per-phase ones.
+///
+/// The write syscall itself is checked (buffered stdio can report
+/// success and only fail at flush, which containers' restricted
+/// /proc mounts provoke), and the result is verified against
+/// /proc/self/status: a "successful" write after which VmHWM still
+/// exceeds VmRSS by more than a small slack did not actually reset,
+/// so it reports false.  Benches record this as
+/// "peak_reset_supported" — a false means their per-phase peaks are
+/// process-lifetime peaks, not that the phases fit in them.
 bool reset_peak_rss() noexcept;
+
+/// One verified probe of reset_peak_rss(), cached for the process:
+/// whether per-phase peak-RSS measurement works in this environment.
+bool peak_reset_supported() noexcept;
 
 }  // namespace diurnal::util

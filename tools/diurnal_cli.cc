@@ -5,6 +5,8 @@
 //                        [--fault SCENARIO] [--discover] [--validate]
 //                        [--stream] [--epoch=DUR]
 //                        [--shards N | --shard-size S] [--max-resident M]
+//                        [--checkpoint-dir DIR] [--resume]
+//                        [--checkpoint-every N] [--max-shards K]
 //   diurnal_cli block    [--dataset D] [--id A.B.C.0/24 | --usc | --vpn]
 //                        [--fault SCENARIO]
 //   diurnal_cli datasets
@@ -24,6 +26,13 @@
 // select the bounded-memory sharded drive (blocks materialized lazily,
 // at most --max-resident shards alive; results bit-identical to the
 // unsharded run) and print residency stats plus peak RSS.
+// `--checkpoint-dir` externalizes progress: the sharded drive records
+// each completed shard (plus a manifest) there, the streaming drive
+// snapshots the engine after every epoch; `--resume` picks either back
+// up, skipping completed work, with a final result bit-identical to an
+// uninterrupted run.  `--max-shards K` stops the sharded drive after K
+// computed shards (the kill half of a kill/resume demo); see
+// EXPERIMENTS.md for the recipe.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +40,9 @@
 #include <optional>
 #include <string>
 
+#include <filesystem>
+
+#include "core/checkpoint.h"
 #include "core/discovery.h"
 #include "core/metrics.h"
 #include "core/pipeline.h"
@@ -68,6 +80,11 @@ struct Args {
   std::size_t shards = 0;        ///< partition into N shards
   std::size_t shard_size = 0;    ///< ... or into shards of S blocks
   std::size_t max_resident = 0;  ///< resident-shard cap (default 4)
+  // Checkpoint/restore (core/checkpoint.h, util/state_io.h).
+  std::optional<std::string> checkpoint_dir;
+  bool resume = false;
+  std::size_t checkpoint_every = 1;  ///< manifest rewrite cadence
+  std::size_t max_shards = 0;        ///< stop after K computed shards
 };
 
 /// Parses "1d", "6h", "90m", "660s", or bare seconds.
@@ -101,6 +118,9 @@ std::int64_t parse_duration(const std::string& s) {
                "                       [--stream] [--epoch=DUR]\n"
                "                       [--shards N | --shard-size S]\n"
                "                       [--max-resident M]\n"
+               "                       [--checkpoint-dir DIR] [--resume]\n"
+               "                       [--checkpoint-every N]\n"
+               "                       [--max-shards K]\n"
                "       diurnal_cli block [--dataset D] [--id A.B.C.0/24|--usc|--vpn]\n"
                "                       [--fault SCENARIO]\n"
                "       diurnal_cli datasets | sites | faults\n");
@@ -133,6 +153,12 @@ Args parse(int argc, char** argv) {
     else if (flag == "--shards") a.shards = std::strtoull(value().c_str(), nullptr, 10);
     else if (flag == "--shard-size") a.shard_size = std::strtoull(value().c_str(), nullptr, 10);
     else if (flag == "--max-resident") a.max_resident = std::strtoull(value().c_str(), nullptr, 10);
+    else if (flag == "--checkpoint-dir") a.checkpoint_dir = value();
+    else if (flag == "--resume") a.resume = true;
+    else if (flag == "--checkpoint-every")
+      a.checkpoint_every = std::strtoull(value().c_str(), nullptr, 10);
+    else if (flag == "--max-shards")
+      a.max_shards = std::strtoull(value().c_str(), nullptr, 10);
     else if (flag == "--epoch") a.epoch = parse_duration(value());
     else if (flag.rfind("--epoch=", 0) == 0)
       a.epoch = parse_duration(flag.substr(8));
@@ -169,8 +195,23 @@ int cmd_run_sharded(const Args& a, const sim::WorldConfig& wc,
     sc.shard_size = (gen.total_blocks() + a.shards - 1) / a.shards;
   }
   if (a.max_resident > 0) sc.max_resident = a.max_resident;
+  if (a.checkpoint_dir) sc.checkpoint_dir = *a.checkpoint_dir;
+  sc.resume = a.resume;
+  if (a.checkpoint_every > 0) sc.checkpoint_every = a.checkpoint_every;
+  sc.max_shards = a.max_shards;
 
   const auto r = core::run_sharded_fleet(gen, fc, sc);
+  if (!sc.checkpoint_dir.empty()) {
+    std::printf("checkpoint: %zu shard(s) resumed from %s, %zu computed",
+                r.stats.resumed_shards, sc.checkpoint_dir.c_str(),
+                r.stats.completed_shards);
+    const std::size_t done = r.stats.resumed_shards + r.stats.completed_shards;
+    if (done < r.stats.shards) {
+      std::printf(" (%zu of %zu remain; rerun with --resume)",
+                  r.stats.shards - done, r.stats.shards);
+    }
+    std::printf("\n");
+  }
   print_funnel_line(r.fleet.funnel);
   if (a.fault_scenario) {
     const auto& d = r.fleet.degradation;
@@ -212,7 +253,8 @@ int cmd_run(const Args& a) {
   if (a.fault_scenario) {
     fc.faults = fault::scenario(*a.fault_scenario, fc.dataset.window());
   }
-  if (a.shards > 0 || a.shard_size > 0 || a.max_resident > 0) {
+  if (a.shards > 0 || a.shard_size > 0 || a.max_resident > 0 ||
+      a.max_shards > 0 || (a.checkpoint_dir && !a.stream)) {
     return cmd_run_sharded(a, wc, fc);
   }
   const sim::World world(wc);
@@ -220,7 +262,35 @@ int cmd_run(const Args& a) {
   core::FleetResult fleet;
   if (a.stream) {
     core::StreamingFleet engine(world, fc);
-    for (util::SimTime t = engine.window_start() + a.epoch;; t += a.epoch) {
+    // Streaming checkpoints: one engine snapshot per epoch, keyed by the
+    // same config fingerprint as the shard files (shard_size 0).
+    std::string ckpt_path;
+    const std::uint64_t fp = core::checkpoint_fingerprint(wc, fc, 0);
+    if (a.checkpoint_dir) {
+      std::error_code ec;
+      std::filesystem::create_directories(*a.checkpoint_dir, ec);
+      ckpt_path = *a.checkpoint_dir + "/stream.ckpt";
+    }
+    if (a.resume && !ckpt_path.empty()) {
+      try {
+        const auto image = util::read_state_file(ckpt_path);
+        util::StateReader r(image);
+        r.begin_section(util::state_tag("CLIM"));
+        if (r.u64() != fp) {
+          throw util::StateError(
+              util::StateErrorKind::kBadValue,
+              "stream checkpoint was written under a different configuration");
+        }
+        r.end_section();
+        engine.restore(r);
+        std::printf("resumed stream checkpoint at %s\n",
+                    util::to_string(util::date_of(engine.clock())).c_str());
+      } catch (const util::StateError& e) {
+        std::fprintf(stderr, "cannot resume %s (%s); starting fresh\n",
+                     ckpt_path.c_str(), e.what());
+      }
+    }
+    for (util::SimTime t = engine.clock() + a.epoch;; t += a.epoch) {
       const auto bounded = std::min(t, engine.window_end());
       const auto rep = engine.advance_to(bounded);
       std::printf("epoch %3zu  %s  %9zu obs%s\n", rep.epoch_index,
@@ -237,8 +307,19 @@ int cmd_run(const Args& a) {
                     p.amplitude);
       }
       if (bounded == engine.window_end()) break;
+      if (!ckpt_path.empty()) {
+        util::StateWriter w;
+        w.begin_section(util::state_tag("CLIM"));
+        w.u64(fp);
+        w.end_section();
+        engine.save(w);
+        util::write_state_file(ckpt_path, w.bytes());
+      }
     }
     fleet = engine.finalize();
+    // The run is complete; a stale snapshot must not resume a finished
+    // world, so drop it.
+    if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
     const auto span = engine.window_end() - engine.window_start();
     std::printf("finalized: authoritative result over %lld epochs\n\n",
                 static_cast<long long>((span + a.epoch - 1) / a.epoch));

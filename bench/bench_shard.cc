@@ -159,6 +159,34 @@ int main() {
   // ------------------------------------------------------------------
   sim::WorldConfig big = wc;
   big.num_blocks = bench::env_int("DIURNAL_BENCH_SHARD_BLOCKS", 100000);
+  const bool layered = bench::env_int("DIURNAL_BENCH_SHARD_LAYERED", 0) != 0;
+  if (layered) {
+    // Layered multi-country continent world (DESIGN §12): CGNAT drift
+    // everywhere, northern DST clocks across Europe/US, and a
+    // southern-season country with an annual holiday — so the weekly
+    // capacity run drives every generator layer at scale, not just the
+    // neutral registry.
+    sim::CountryLayerOverride all;
+    all.cgnat_trend_per_year = 0.2;
+    big.country_layers.push_back(std::move(all));
+    for (const char* code : {"US", "DE", "GB", "FR"}) {
+      sim::CountryLayerOverride o;
+      o.code = code;
+      o.dst = geo::DstPolicy::kNorthern;
+      big.country_layers.push_back(std::move(o));
+    }
+    sim::CountryLayerOverride au;
+    au.code = "AU";
+    au.dst = geo::DstPolicy::kSouthern;
+    geo::AnnualHoliday summer;
+    summer.name = "bench-summer-break";
+    summer.month = 1;
+    summer.day = 2;
+    summer.duration_days = 10;
+    summer.adoption = 0.5;
+    au.holidays.push_back(std::move(summer));
+    big.country_layers.push_back(std::move(au));
+  }
   core::ShardConfig sc;
   sc.shard_size =
       static_cast<std::size_t>(bench::env_int("DIURNAL_BENCH_SHARD_SIZE", 4096));
@@ -176,9 +204,10 @@ int main() {
 
   const double n_blocks = static_cast<double>(cap.stats.blocks);
   std::printf("\ncapacity: %zu blocks, %zu shards of %zu, "
-              "%zu workers x %zu intra-threads\n",
+              "%zu workers x %zu intra-threads%s\n",
               cap.stats.blocks, cap.stats.shards, cap.stats.shard_size,
-              cap.stats.workers, cap.stats.intra_threads);
+              cap.stats.workers, cap.stats.intra_threads,
+              layered ? " (layered continent world)" : "");
   std::printf("  %.2fs  (%.1f blocks/sec)\n", secs, n_blocks / secs);
   std::printf("  peak resident shards %zu (cap %zu), accounted %.1f MB\n",
               cap.stats.peak_resident, sc.max_resident,

@@ -20,6 +20,50 @@ constexpr std::uint32_t kShardSeriesTag = util::state_tag("SERI");
   throw util::StateError(util::StateErrorKind::kBadValue, what);
 }
 
+void fingerprint_opt(util::StateWriter& w, const std::optional<double>& v) {
+  w.boolean(v.has_value());
+  if (v) w.f64(*v);
+}
+
+void fingerprint_event(util::StateWriter& w, const sim::Event& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.str(e.name);
+  w.boolean(e.scope.country_code.has_value());
+  if (e.scope.country_code) w.str(*e.scope.country_code);
+  w.boolean(e.scope.cell.has_value());
+  if (e.scope.cell) {
+    w.i64(e.scope.cell->lat_idx);
+    w.i64(e.scope.cell->lon_idx);
+  }
+  w.i64(e.start);
+  w.i64(e.end);
+  w.f64(e.adoption);
+  w.f64(e.residual_attendance);
+  w.i64(e.ramp_days);
+}
+
+void fingerprint_layer(util::StateWriter& w,
+                       const sim::CountryLayerOverride& o) {
+  w.str(o.code);
+  fingerprint_opt(w, o.diurnal_visible_fraction);
+  fingerprint_opt(w, o.cgnat_fraction);
+  fingerprint_opt(w, o.renumber_multiplier);
+  fingerprint_opt(w, o.outage_multiplier);
+  w.boolean(o.dst.has_value());
+  if (o.dst) w.u8(static_cast<std::uint8_t>(*o.dst));
+  w.u64(o.holidays.size());
+  for (const auto& h : o.holidays) {
+    w.str(h.name);
+    w.i64(h.month);
+    w.i64(h.day);
+    w.i64(h.duration_days);
+    w.f64(h.adoption);
+    w.f64(h.residual_attendance);
+  }
+  fingerprint_opt(w, o.adoption_trend_per_year);
+  fingerprint_opt(w, o.cgnat_trend_per_year);
+}
+
 void fingerprint_dataset(util::StateWriter& w, const DatasetSpec& ds) {
   w.str(ds.abbr);
   w.str(ds.sites);
@@ -103,6 +147,7 @@ void save_state(util::StateWriter& w, const DetectedChange& c) {
   w.f64(c.amplitude_addresses);
   w.boolean(c.filtered_as_outage);
   w.boolean(c.filtered_small);
+  w.boolean(c.filtered_phase_only);
   w.boolean(c.low_evidence);
 }
 
@@ -116,6 +161,7 @@ void restore_state(util::StateReader& r, DetectedChange& c) {
   c.amplitude_addresses = r.f64();
   c.filtered_as_outage = r.boolean();
   c.filtered_small = r.boolean();
+  c.filtered_phase_only = r.boolean();
   c.low_evidence = r.boolean();
 }
 
@@ -159,7 +205,14 @@ std::uint64_t checkpoint_fingerprint(const sim::WorldConfig& world,
   w.boolean(world.only_country.has_value());
   if (world.only_country) w.str(*world.only_country);
   w.boolean(world.quiet_calendar);
+  // Full calendar and country-layer content, not just counts: two
+  // worlds whose planted events differ only in a date, an adoption
+  // rate, or a ramp width are different experiments and must not share
+  // resumable state.
   w.u64(world.calendar.size());
+  for (const auto& e : world.calendar) fingerprint_event(w, e);
+  w.u64(world.country_layers.size());
+  for (const auto& o : world.country_layers) fingerprint_layer(w, o);
   // Windows and observers.
   fingerprint_dataset(w, config.dataset);
   w.boolean(config.classify_dataset.has_value());
@@ -221,6 +274,8 @@ std::uint64_t checkpoint_fingerprint(const sim::WorldConfig& world,
   w.i64(config.detector.max_outage_duration);
   w.f64(config.detector.outage_level_fraction);
   w.f64(config.detector.min_change_addresses);
+  w.boolean(config.detector.phase_shift_filter);
+  w.f64(config.detector.phase_corroboration_ratio);
   w.i64(config.recon.sample_step);
   w.i64(config.recon.stale_horizon);
   w.u64(shard_size);

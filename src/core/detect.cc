@@ -147,6 +147,55 @@ void detect_raw_outages(std::span<const double> counts, util::SimTime start,
   // outage (it could be WFH in progress).
 }
 
+// Raw-volume corroboration (DetectorOptions::phase_shift_filter): the
+// mean of the raw counts over one seasonal period on each side of the
+// change must move by a fraction of the claimed trend step.  A window
+// of one full period averages out the daily and weekly structure, so
+// the comparison sees volume, not phase.  Changes too close to a
+// series edge for a half-period window on both sides are left alone
+// (conservative: never discard for lack of evidence).
+void filter_uncorroborated_changes(std::span<const double> counts,
+                                   util::SimTime start, std::int64_t step,
+                                   const DetectorOptions& opt,
+                                   std::vector<DetectedChange>& changes) {
+  const auto n = static_cast<std::int64_t>(counts.size());
+  const std::int64_t window = opt.period_seconds / step;
+  for (auto& c : changes) {
+    if (c.filtered_as_outage || c.filtered_small) continue;
+    const std::int64_t lo = (c.start - start) / step;
+    const std::int64_t hi = (c.end - start) / step;
+    // Pre-change window outside the excursion; an excursion starting at
+    // the series edge substitutes its own head (the drift accumulates
+    // through the excursion, so the head still sits near the old level).
+    std::int64_t b_lo = std::max<std::int64_t>(0, lo - window);
+    std::int64_t b_hi = lo;
+    if (b_hi - b_lo < window / 2) {
+      b_lo = lo;
+      b_hi = std::min(hi, lo + window);
+    }
+    // Post-change window, mirrored for excursions open at the series end.
+    std::int64_t a_lo = hi;
+    std::int64_t a_hi = std::min(n, hi + window);
+    if (a_hi - a_lo < window / 2) {
+      a_hi = hi;
+      a_lo = std::max(lo, hi - window);
+    }
+    if (b_hi - b_lo < window / 2 || a_hi - a_lo < window / 2) {
+      continue;
+    }
+    double before = 0.0;
+    for (std::int64_t i = b_lo; i < b_hi; ++i) before += counts[i];
+    before /= static_cast<double>(b_hi - b_lo);
+    double after = 0.0;
+    for (std::int64_t i = a_lo; i < a_hi; ++i) after += counts[i];
+    after /= static_cast<double>(a_hi - a_lo);
+    if (std::abs(after - before) < opt.phase_corroboration_ratio *
+                                       std::abs(c.amplitude_addresses)) {
+      c.filtered_phase_only = true;
+    }
+  }
+}
+
 // Everything after the trend -> z-score -> CUSUM chain: turning change
 // points into annotated DetectedChanges and running the outage
 // filters.  Shared verbatim by the scalar path (run_detection) and the
@@ -201,6 +250,10 @@ void extract_changes(std::span<const double> counts, util::SimTime start,
         }
       }
     }
+  }
+
+  if (opt.phase_shift_filter) {
+    filter_uncorroborated_changes(counts, start, step, opt, changes);
   }
 }
 

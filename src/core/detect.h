@@ -49,6 +49,18 @@ struct DetectorOptions {
   /// physical floor the CUSUM chatters on blocks whose trend wiggles by
   /// a device or two.
   double min_change_addresses = 1.5;
+  /// Raw-volume corroboration (the timezone/DST cross-check): a genuine
+  /// activity change moves the block's mean activity volume by an
+  /// amount comparable to its trend step, while a clock shift (a DST
+  /// transition moving the whole schedule by an hour) changes phase but
+  /// not volume — yet still perturbs the globally fitted STL trend
+  /// enough for the CUSUM to alarm.  When enabled, a change whose
+  /// one-period-windowed raw means before and after differ by less than
+  /// `phase_corroboration_ratio` of the claimed trend amplitude is
+  /// marked as a phase artifact.  Off by default: the golden-digest
+  /// contract freezes the default pipeline's decisions.
+  bool phase_shift_filter = false;
+  double phase_corroboration_ratio = 0.5;
 };
 
 /// One detected change, annotated with times and the outage filter.
@@ -61,6 +73,10 @@ struct DetectedChange {
   double amplitude_addresses = 0.0;  ///< raw trend change in addresses
   bool filtered_as_outage = false;   ///< part of a paired down/up excursion
   bool filtered_small = false;       ///< below the address-count floor
+  /// Phase artifact: the raw volume around the change does not
+  /// corroborate the trend step (see DetectorOptions::phase_shift_filter;
+  /// never set when that filter is off).
+  bool filtered_phase_only = false;
   /// Degraded-mode annotation (set by the fleet pipeline, never by a
   /// healthy run): the change's evidence window overlaps a coverage gap
   /// or the whole reconstruction fell below the confidence floor, so the
@@ -71,7 +87,7 @@ struct DetectedChange {
 
   /// True when the change counts as a human-activity change.
   bool counted() const noexcept {
-    return !filtered_as_outage && !filtered_small;
+    return !filtered_as_outage && !filtered_small && !filtered_phase_only;
   }
 };
 

@@ -48,7 +48,8 @@ std::uint64_t fleet_digest(const FleetResult& r) {
       d.mix(ch.amplitude);
       d.mix(ch.amplitude_addresses);
       d.mix(static_cast<std::uint64_t>((ch.filtered_as_outage ? 1 : 0) |
-                                       (ch.filtered_small ? 2 : 0)));
+                                       (ch.filtered_small ? 2 : 0) |
+                                       (ch.filtered_phase_only ? 4 : 0)));
     }
   }
   return d.h;

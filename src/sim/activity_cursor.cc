@@ -15,6 +15,21 @@ inline std::uint32_t hour_range_mask(int lo, int hi) noexcept {
   return (hi <= lo) ? 0u : ((1u << hi) - (1u << lo)) & kAllHours;
 }
 
+// Order-sensitive digest of a block's DST shifts; bind() compares it to
+// decide whether per-address caches may survive a rebind (the profile
+// object may have been recycled at the same address with different
+// shifts).
+std::uint64_t tz_shift_signature(const BlockProfile& block) noexcept {
+  std::uint64_t sig = 0;
+  for (const TzShift& s : block.tz_shifts) {
+    sig = util::mix64(sig ^ static_cast<std::uint64_t>(s.at) ^
+                      (static_cast<std::uint64_t>(
+                           static_cast<std::uint16_t>(s.offset_hours))
+                       << 48));
+  }
+  return sig;
+}
+
 }  // namespace
 
 void ActivityCursor::bind(const BlockProfile& block) {
@@ -27,17 +42,19 @@ void ActivityCursor::bind(const BlockProfile& block) {
   // scalar-fact compares guard against a *different* profile living at
   // the recycled address of the previous one (stack-built blocks in
   // tests); profiles must still not be mutated between binds.
+  const std::uint64_t tz_sig = tz_shift_signature(block);
   const bool keep_addrs =
       block_ == &block && !renumbered_ && seed_ == block.seed &&
       eb_ == static_cast<int>(block.eb_count) &&
       always_on_ == static_cast<int>(block.always_on) &&
       category_ == block.category &&
-      tz_seconds_ == static_cast<SimTime>(block.tz_offset_hours) * 3600 &&
+      tz_base_seconds_ == static_cast<SimTime>(block.tz_offset_hours) * 3600 &&
+      tz_sig_ == tz_sig &&
       base_attendance_ == static_cast<double>(block.base_attendance) &&
       current_fraction_ == static_cast<double>(block.current_fraction) &&
       vacate_at_ == block.vacate_at && renumber_at_ == block.renumber_at &&
       occupied_from_ == block.occupied_from &&
-      occupied_until_ == block.occupied_until;
+      occupied_until_ == block.occupied_until && cgnat_at_ == block.cgnat_at;
   block_ = &block;
   eb_ = static_cast<int>(block.eb_count);
   always_on_ = static_cast<int>(block.always_on);
@@ -60,7 +77,12 @@ void ActivityCursor::bind(const BlockProfile& block) {
       block.renumber_at >= 0 ? block.renumber_at + schedule::kRenumberGap : -1;
   occupied_from_ = block.occupied_from;
   occupied_until_ = block.occupied_until;
-  tz_seconds_ = static_cast<SimTime>(block.tz_offset_hours) * 3600;
+  cgnat_at_ = block.cgnat_at;
+  tz_base_seconds_ = static_cast<SimTime>(block.tz_offset_hours) * 3600;
+  tz_seconds_ = tz_base_seconds_;
+  tz_hours_ = block.tz_offset_hours;
+  has_tz_shifts_ = !block.tz_shifts.empty();
+  tz_sig_ = tz_sig;
   seed_ = block.seed;
   renumbered_ = false;
   base_attendance_ = static_cast<double>(block.base_attendance);
@@ -103,6 +125,19 @@ void ActivityCursor::reset_addr_states() noexcept {
 }
 
 void ActivityCursor::refresh_window(SimTime t) noexcept {
+  // Resolve the UTC offset in force (DST blocks only; the scan mirrors
+  // schedule::tz_offset_seconds).  stable_until_ is bounded by the next
+  // transition below, so the offset is constant across the whole window
+  // and the inline hour tick never needs to re-resolve it.
+  if (has_tz_shifts_) {
+    std::int16_t hours = block_->tz_offset_hours;
+    for (const TzShift& s : block_->tz_shifts) {
+      if (t < s.at) break;
+      hours = s.offset_hours;
+    }
+    tz_hours_ = hours;
+    tz_seconds_ = static_cast<SimTime>(hours) * 3600;
+  }
   // Local clock (tz offsets are whole hours, so local hour boundaries
   // coincide with absolute ones, as do the 6h/8h slot boundaries).
   const SimTime local = t + tz_seconds_;
@@ -166,18 +201,26 @@ void ActivityCursor::refresh_window(SimTime t) noexcept {
   // block answers for its original low addresses, un-mirrored.
   flip_ = flipped && !vacated_;
   humans_absent_ = (occupied_from_ >= 0 && t < occupied_from_) ||
-                   (occupied_until_ >= 0 && t >= occupied_until_);
+                   (occupied_until_ >= 0 && t >= occupied_until_) ||
+                   (cgnat_at_ >= 0 && t >= cgnat_at_);
   plain_ = !outage_active_ && !in_gap;
 
-  const SimTime edges[] = {vacate_at_, renumber_at_, renumber_appear_,
-                           occupied_from_, occupied_until_};
+  const SimTime edges[] = {vacate_at_,     renumber_at_,    renumber_appear_,
+                           occupied_from_, occupied_until_, cgnat_at_};
   for (const SimTime e : edges) {
     if (e > t) stable = std::min(stable, e);
+  }
+  if (has_tz_shifts_) {
+    const SimTime next_shift = schedule::next_tz_shift_after(*block_, t);
+    if (next_shift > t) stable = std::min(stable, next_shift);
   }
   stable_until_ = stable;
   fast_until_ = std::min(hour_end, stable);
 
-  row_key_ = (static_cast<std::uint64_t>(day) << 32) |
+  row_key_ = (static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(static_cast<std::int8_t>(tz_hours_)))
+              << 56) |
+             (static_cast<std::uint64_t>(day) << 32) |
              (static_cast<std::uint64_t>(sup_gen_) << 2) |
              (vacated_ ? 2u : 0u) | (humans_absent_ ? 1u : 0u);
 

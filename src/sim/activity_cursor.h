@@ -206,7 +206,15 @@ class ActivityCursor {
   util::SimTime renumber_appear_ = -1;  // renumber_at + gap
   util::SimTime occupied_from_ = -1;
   util::SimTime occupied_until_ = -1;
+  util::SimTime cgnat_at_ = -1;
+  /// UTC offset in force for the current window (equals the base offset
+  /// for blocks without DST shifts); refresh_window re-resolves it when
+  /// the block has tz_shifts.
   util::SimTime tz_seconds_ = 0;
+  util::SimTime tz_base_seconds_ = 0;  ///< standard-time offset (bind compare)
+  std::int16_t tz_hours_ = 0;  ///< tz_seconds_ / 3600, folded into row keys
+  bool has_tz_shifts_ = false;
+  std::uint64_t tz_sig_ = 0;  ///< bind-time digest of tz_shifts (keep_addrs)
   std::uint64_t seed_ = 0;  // current-phase seed (flips at renumbering)
   bool renumbered_ = false;
   double base_attendance_ = 0.0;
@@ -248,7 +256,11 @@ class ActivityCursor {
   /// addr range guard for the probe path: 0 for dead blocks (unused /
   /// firewalled never answer), else eb_.
   int addr_limit_ = 0;
-  std::uint64_t row_key_ = 0;  ///< (day, sup generation, structural bits)
+  /// (tz offset in bits 56+, day in bits 32+, sup generation, structural
+  /// bits).  The offset fold matters for DST blocks: a transition inside
+  /// one local day changes the absolute slot indices baked into
+  /// slot-expanded rows, so the key must change with the offset.
+  std::uint64_t row_key_ = 0;
   std::int64_t clock_day_ = 0;
   int clock_hour_ = 0;
   bool clock_workday_ = false;

@@ -160,9 +160,12 @@ bool address_active(const BlockProfile& b, int addr, SimTime t) noexcept {
   }
 
   // The human population only occupies the block within its occupancy
-  // window (infrastructure stays up).
+  // window (infrastructure stays up).  CGNAT absorption ends the
+  // publicly visible population the same way: after cgnat_at only the
+  // always-on gateway addresses (handled above) still answer.
   if ((b.occupied_from >= 0 && t < b.occupied_from) ||
-      (b.occupied_until >= 0 && t >= b.occupied_until)) {
+      (b.occupied_until >= 0 && t >= b.occupied_until) ||
+      (b.cgnat_at >= 0 && t >= b.cgnat_at)) {
     return false;
   }
 

@@ -56,12 +56,23 @@ struct OutageInterval {
   util::SimTime end = 0;
 };
 
+/// A timezone-offset change (DST transition): from `at` onward the
+/// block's UTC offset is `offset_hours` (absolute, not a delta).
+struct TzShift {
+  util::SimTime at = 0;
+  std::int16_t offset_hours = 0;
+};
+
 /// Ground truth for one /24 block.
 struct BlockProfile {
   net::BlockId id;
   BlockCategory category = BlockCategory::kUnused;
   std::uint16_t country = 0;       ///< index into geo::countries()
-  std::int16_t tz_offset_hours = 0;
+  std::int16_t tz_offset_hours = 0;  ///< standard-time (base) offset
+
+  /// DST transitions within the horizon, sorted by `at` (empty: the base
+  /// offset holds for all time — the default-registry case).
+  std::vector<TzShift> tz_shifts;
   float lat = 0.0f;
   float lon = 0.0f;
   std::uint16_t eb_count = 0;   ///< |E(b)|: ever-active addresses (targets)
@@ -96,6 +107,13 @@ struct BlockProfile {
   /// the change-sensitive churn in section 3.4.
   util::SimTime occupied_from = -1;
   util::SimTime occupied_until = -1;
+
+  /// CGNAT absorption instant (<0: none).  From `cgnat_at` onward the
+  /// carrier has moved this block's subscribers behind carrier-grade
+  /// NAT: only the always-on gateway addresses still answer, and the
+  /// block's diurnal signature disappears — the adoption-layer masking
+  /// effect ("The Lockdown Effect" §CGNAT; paper section 3.5).
+  util::SimTime cgnat_at = -1;
 
   geo::GridCell cell() const noexcept {
     return geo::GridCell::of(lat, lon);

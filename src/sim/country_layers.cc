@@ -1,0 +1,214 @@
+#include "sim/country_layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diurnal::sim {
+
+using geo::DstPolicy;
+using util::Date;
+using util::SimTime;
+
+namespace {
+
+// Day-of-month of the Nth Sunday (n = 1-based) of a month.
+int nth_sunday(int year, int month, int n) {
+  const int first_wd = util::weekday(Date{year, month, 1});  // 0 = Sunday
+  const int first_sunday = 1 + (7 - first_wd) % 7;
+  return first_sunday + 7 * (n - 1);
+}
+
+struct Transition {
+  SimTime at;
+  std::int16_t offset_hours;  // absolute offset from `at` onward
+};
+
+// All transitions of a policy for one calendar year, in UTC.
+void year_transitions(DstPolicy policy, int base, int year,
+                      std::vector<Transition>& out) {
+  const auto base_s = static_cast<SimTime>(base) * 3600;
+  const auto dst_s = static_cast<SimTime>(base + 1) * 3600;
+  switch (policy) {
+    case DstPolicy::kNone:
+      break;
+    case DstPolicy::kNorthern:
+      // Spring forward: second Sunday of March, 02:00 standard time.
+      out.push_back({util::time_of(year, 3, nth_sunday(year, 3, 2)) +
+                         2 * util::kSecondsPerHour - base_s,
+                     static_cast<std::int16_t>(base + 1)});
+      // Fall back: first Sunday of November, 02:00 daylight time.
+      out.push_back({util::time_of(year, 11, nth_sunday(year, 11, 1)) +
+                         2 * util::kSecondsPerHour - dst_s,
+                     static_cast<std::int16_t>(base)});
+      break;
+    case DstPolicy::kSouthern:
+      // DST ends: first Sunday of April, 02:00 daylight time.
+      out.push_back({util::time_of(year, 4, nth_sunday(year, 4, 1)) +
+                         2 * util::kSecondsPerHour - dst_s,
+                     static_cast<std::int16_t>(base)});
+      // DST begins: first Sunday of October, 02:00 standard time.
+      out.push_back({util::time_of(year, 10, nth_sunday(year, 10, 1)) +
+                         2 * util::kSecondsPerHour - base_s,
+                     static_cast<std::int16_t>(base + 1)});
+      break;
+  }
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+std::vector<TzShift> materialize_dst(DstPolicy policy, int base_offset_hours,
+                                     SimTime horizon_start,
+                                     SimTime horizon_end) {
+  std::vector<TzShift> shifts;
+  if (policy == DstPolicy::kNone) return shifts;
+
+  // Generate candidates for every year the horizon can touch (plus one
+  // on each side so the in-force offset at horizon_start is known even
+  // when the most recent transition predates the horizon).
+  const int y0 = util::date_of(horizon_start).year - 1;
+  const int y1 = util::date_of(horizon_end).year + 1;
+  std::vector<Transition> candidates;
+  for (int y = y0; y <= y1; ++y) {
+    year_transitions(policy, base_offset_hours, y, candidates);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Transition& a, const Transition& b) {
+              return a.at < b.at;
+            });
+
+  std::int16_t in_force = static_cast<std::int16_t>(base_offset_hours);
+  for (const Transition& tr : candidates) {
+    if (tr.at <= horizon_start) {
+      in_force = tr.offset_hours;
+    } else if (tr.at < horizon_end) {
+      shifts.push_back(TzShift{tr.at, tr.offset_hours});
+    }
+  }
+  if (in_force != base_offset_hours) {
+    shifts.insert(shifts.begin(), TzShift{horizon_start, in_force});
+  }
+  return shifts;
+}
+
+CountryLayerTable::CountryLayerTable(
+    const std::vector<CountryLayerOverride>& overrides,
+    double base_outage_rate_per_90d, double base_renumber_probability,
+    SimTime horizon_start, SimTime horizon_end)
+    : horizon_start_(horizon_start), horizon_end_(horizon_end) {
+  const auto& registry = geo::countries();
+  resolved_.reserve(registry.size());
+  cumulative_.reserve(registry.size());
+
+  const double horizon_years =
+      static_cast<double>(horizon_end - horizon_start) /
+      (365.0 * util::kSecondsPerDay);
+
+  for (const auto& c : registry) {
+    ResolvedCountry r;
+    r.profile = &c;
+    r.pick_weight = c.demographics.block_weight;
+    r.diurnal_visible = c.adoption.diurnal_visible_fraction;
+    double cgnat = c.adoption.cgnat_fraction;
+    r.outage_rate_per_90d = base_outage_rate_per_90d;
+    r.renumber_probability = base_renumber_probability;
+    r.utc_offset_hours = c.time_rules.utc_offset_hours;
+    r.dst = c.time_rules.dst;
+    r.holidays = c.time_rules.holidays;
+    r.adoption_trend_per_year = c.drift.adoption_trend_per_year;
+    r.cgnat_trend_per_year = c.drift.cgnat_trend_per_year;
+
+    double renumber_mult = c.network_ops.renumber_multiplier;
+    double outage_mult = c.network_ops.outage_multiplier;
+
+    // Apply overrides: "" first, then the country's own code, so a
+    // per-code override wins over the all-countries one field-wise.
+    for (const bool specific : {false, true}) {
+      for (const auto& o : overrides) {
+        if (specific ? (o.code != c.code) : !o.code.empty()) continue;
+        if (o.diurnal_visible_fraction) {
+          r.diurnal_visible = *o.diurnal_visible_fraction;
+        }
+        if (o.cgnat_fraction) cgnat = *o.cgnat_fraction;
+        if (o.renumber_multiplier) renumber_mult = *o.renumber_multiplier;
+        if (o.outage_multiplier) outage_mult = *o.outage_multiplier;
+        if (o.dst) r.dst = *o.dst;
+        r.holidays.insert(r.holidays.end(), o.holidays.begin(),
+                          o.holidays.end());
+        if (o.adoption_trend_per_year) {
+          r.adoption_trend_per_year = *o.adoption_trend_per_year;
+        }
+        if (o.cgnat_trend_per_year) {
+          r.cgnat_trend_per_year = *o.cgnat_trend_per_year;
+        }
+      }
+    }
+
+    // Drift: adoption is evaluated at the horizon midpoint; CGNAT at
+    // start and end so per-block migration instants spread across the
+    // horizon.  Guarded so the zero-drift default leaves the registry
+    // doubles bit-untouched.
+    if (r.adoption_trend_per_year != 0.0) {
+      r.diurnal_visible = clamp01(
+          r.diurnal_visible +
+          r.adoption_trend_per_year * 0.5 * horizon_years);
+    }
+    r.cgnat_start = clamp01(cgnat);
+    r.cgnat_end = r.cgnat_start;
+    if (r.cgnat_trend_per_year != 0.0) {
+      r.cgnat_end = std::max(
+          r.cgnat_start,
+          clamp01(cgnat + r.cgnat_trend_per_year * horizon_years));
+    }
+
+    // Multipliers of exactly 1.0 leave the base rate bit-identical
+    // (IEEE x * 1.0 == x); guard anyway so the default path never
+    // touches the doubles.
+    if (outage_mult != 1.0) r.outage_rate_per_90d *= outage_mult;
+    if (renumber_mult != 1.0) r.renumber_probability *= renumber_mult;
+
+    if (r.dst != DstPolicy::kNone) {
+      r.tz_shifts = materialize_dst(r.dst, r.utc_offset_hours, horizon_start,
+                                    horizon_end);
+    }
+
+    total_weight_ += r.pick_weight;
+    cumulative_.push_back(total_weight_);
+    resolved_.push_back(std::move(r));
+  }
+}
+
+std::size_t CountryLayerTable::pick(util::Xoshiro256& rng) const {
+  const double r = rng.uniform(0.0, total_weight_);
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), r);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::vector<Event> CountryLayerTable::holiday_events() const {
+  std::vector<Event> events;
+  const int y0 = util::date_of(horizon_start_).year;
+  const int y1 = util::date_of(horizon_end_).year;
+  for (const auto& r : resolved_) {
+    for (const auto& h : r.holidays) {
+      for (int y = y0; y <= y1; ++y) {
+        const SimTime start = util::time_of(y, h.month, h.day);
+        const SimTime end = start + static_cast<SimTime>(h.duration_days) *
+                                        util::kSecondsPerDay;
+        if (end <= horizon_start_ || start >= horizon_end_) continue;
+        Event e;
+        e.kind = EventKind::kHoliday;
+        e.name = h.name + "-" + std::to_string(y);
+        e.scope.country_code = r.profile->code;
+        e.start = start;
+        e.end = end;
+        e.adoption = h.adoption;
+        e.residual_attendance = h.residual_attendance;
+        events.push_back(std::move(e));
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace diurnal::sim

@@ -1,0 +1,130 @@
+// Per-country layer resolution for the world generator (DESIGN §12).
+//
+// geo::countries() carries each country's default layer stack
+// (demographics → adoption → network ops → time rules → drift);
+// sim::WorldConfig::country_layers carries optional overrides.  The
+// CountryLayerTable resolves the stack once per generator — registry
+// defaults, then the "" (all-countries) override, then the per-code
+// override, field-wise last-wins — into the flat per-country values
+// every block draw reads.  The bitwise-equivalence contract: with no
+// overrides the resolved values are exactly the registry scalars (all
+// multipliers 1.0, CGNAT 0, DST off, no holidays, zero drift), so a
+// default-registry world reproduces the pre-layer RNG draw sequence
+// bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/countries.h"
+#include "sim/block_profile.h"
+#include "sim/events.h"
+#include "util/date.h"
+#include "util/rng.h"
+
+namespace diurnal::sim {
+
+/// Layer overrides for one country ("" code = applies to every country;
+/// per-code overrides stack on top).  Unset fields keep the registry
+/// value; holidays append to the registry list.
+struct CountryLayerOverride {
+  std::string code;  ///< two-letter code, or "" for all countries
+
+  // Adoption layer.
+  std::optional<double> diurnal_visible_fraction;
+  std::optional<double> cgnat_fraction;
+
+  // Network-ops layer.
+  std::optional<double> renumber_multiplier;
+  std::optional<double> outage_multiplier;
+
+  // Time-rules layer.
+  std::optional<geo::DstPolicy> dst;
+  std::vector<geo::AnnualHoliday> holidays;
+
+  // Drift layer.
+  std::optional<double> adoption_trend_per_year;
+  std::optional<double> cgnat_trend_per_year;
+};
+
+/// One country's layers resolved against a world's horizon and base
+/// rates: everything make_generated() needs, precomputed.
+struct ResolvedCountry {
+  const geo::CountryProfile* profile = nullptr;
+
+  // Demographics (pick weight is unmodified registry weight).
+  double pick_weight = 1.0;
+
+  // Adoption + drift: diurnal-visible fraction with the adoption trend
+  // applied at the horizon midpoint, and the CGNAT fraction at horizon
+  // start/end (the CGNAT trend spreads block migrations across the
+  // horizon).  cgnat_end >= cgnat_start, both clamped to [0, 1].
+  double diurnal_visible = 0.2;
+  double cgnat_start = 0.0;
+  double cgnat_end = 0.0;
+
+  // Network ops: world base rates scaled by the country multipliers.
+  double outage_rate_per_90d = 0.06;
+  double renumber_probability = 0.015;
+
+  // Time rules.
+  int utc_offset_hours = 0;
+  geo::DstPolicy dst = geo::DstPolicy::kNone;
+  std::vector<TzShift> tz_shifts;  ///< materialized DST transitions
+  std::vector<geo::AnnualHoliday> holidays;
+
+  // Drift (kept for introspection / --explain-country).
+  double adoption_trend_per_year = 0.0;
+  double cgnat_trend_per_year = 0.0;
+};
+
+/// Resolves every registry country against a world's overrides and
+/// horizon.  Also owns the weighted country-sampling table (previously
+/// the anonymous CountryPicker): the cumulative sums are built from the
+/// same weights in the same order, so the pick draw is unchanged.
+class CountryLayerTable {
+ public:
+  CountryLayerTable() = default;
+  CountryLayerTable(const std::vector<CountryLayerOverride>& overrides,
+                    double base_outage_rate_per_90d,
+                    double base_renumber_probability,
+                    util::SimTime horizon_start, util::SimTime horizon_end);
+
+  std::size_t size() const noexcept { return resolved_.size(); }
+  const ResolvedCountry& resolved(std::size_t index) const {
+    return resolved_[index];
+  }
+
+  /// Weighted country draw; consumes exactly one rng.uniform(0, total)
+  /// like the pre-layer CountryPicker.
+  std::size_t pick(util::Xoshiro256& rng) const;
+
+  /// Holiday events materialized from every country's resolved annual
+  /// holidays, one kHoliday event per holiday per horizon year that
+  /// intersects the horizon (named "<holiday>-<year>").  Empty for the
+  /// default registry.
+  std::vector<Event> holiday_events() const;
+
+ private:
+  std::vector<ResolvedCountry> resolved_;
+  std::vector<double> cumulative_;
+  double total_weight_ = 0.0;
+  util::SimTime horizon_start_ = 0;
+  util::SimTime horizon_end_ = 0;
+};
+
+/// Materializes a DST policy's transitions over [horizon_start,
+/// horizon_end): kNorthern follows the US rule (spring forward the
+/// second Sunday of March at 02:00 standard, fall back the first Sunday
+/// of November at 02:00 daylight); kSouthern the mirrored schedule (DST
+/// first Sunday of October through the first Sunday of April).  If DST
+/// is already in force at horizon_start a shift at horizon_start is
+/// prepended, so offsets resolve correctly from the first instant.
+std::vector<TzShift> materialize_dst(geo::DstPolicy policy,
+                                     int base_offset_hours,
+                                     util::SimTime horizon_start,
+                                     util::SimTime horizon_end);
+
+}  // namespace diurnal::sim

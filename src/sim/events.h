@@ -50,6 +50,13 @@ struct Event {
   /// offices).
   double residual_attendance = 0.10;
 
+  /// Gradual-onset window in days.  0 (default) keeps the legacy step
+  /// onset with the documented few-day adoption jitter; > 0 spreads
+  /// adopting blocks' start dates uniformly over [start, start + ramp)
+  /// — the WFH-ramp scenarios where a region phases into lockdown over
+  /// a week-plus instead of on one order date.
+  int ramp_days = 0;
+
   util::Date start_date() const { return util::date_of(start); }
 };
 

@@ -27,10 +27,34 @@ struct LocalClock {
   bool workday;      // Monday..Friday
 };
 
+/// UTC offset (seconds) in force at time t: the base offset until the
+/// first tz_shift, then each shift's absolute offset from its `at`
+/// onward.  The default registry leaves tz_shifts empty, so this is the
+/// plain base offset with no extra work on the hot path.
+inline std::int64_t tz_offset_seconds(const BlockProfile& b,
+                                      util::SimTime t) noexcept {
+  std::int64_t hours = b.tz_offset_hours;
+  for (const TzShift& s : b.tz_shifts) {
+    if (t < s.at) break;
+    hours = s.offset_hours;
+  }
+  return hours * 3600;
+}
+
+/// Earliest tz transition strictly after t, or -1 if none remain.  The
+/// ActivityCursor bounds its cached-window validity with this so a DST
+/// change invalidates hoisted per-day state.
+inline util::SimTime next_tz_shift_after(const BlockProfile& b,
+                                         util::SimTime t) noexcept {
+  for (const TzShift& s : b.tz_shifts) {
+    if (s.at > t) return s.at;
+  }
+  return -1;
+}
+
 inline LocalClock local_clock(const BlockProfile& b,
                               util::SimTime t) noexcept {
-  const util::SimTime local =
-      t + static_cast<util::SimTime>(b.tz_offset_hours) * 3600;
+  const util::SimTime local = t + tz_offset_seconds(b, t);
   std::int64_t day = local / util::kSecondsPerDay;
   std::int64_t rem = local % util::kSecondsPerDay;
   if (rem < 0) {

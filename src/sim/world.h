@@ -14,6 +14,7 @@
 
 #include "geo/geodb.h"
 #include "sim/block_profile.h"
+#include "sim/country_layers.h"
 #include "sim/events.h"
 #include "util/rng.h"
 #include "util/timeseries.h"
@@ -78,6 +79,12 @@ struct WorldConfig {
   /// (used by fault-injection tests to prove observer dropout is never
   /// misread as a WFH onset).
   bool quiet_calendar = false;
+
+  /// Per-country layer overrides (DESIGN §12): adoption/CGNAT, network
+  /// ops multipliers, DST policy, recurring holidays, secular drift.
+  /// Empty (the default) resolves to exactly the registry scalars —
+  /// the bitwise-equivalence contract for the golden digest.
+  std::vector<CountryLayerOverride> country_layers;
 };
 
 /// Deterministically generated world.

@@ -13,35 +13,16 @@ using util::Xoshiro256;
 
 namespace {
 
-// Country sampling table built once per process (pure function of the
-// static country registry, so sharing it across generators is safe).
-struct CountryPicker {
-  std::vector<double> cumulative;
+std::size_t pick_city(const geo::CountryProfile& c, Xoshiro256& rng) {
+  const auto& cities = c.demographics.cities;
   double total = 0.0;
-
-  CountryPicker() {
-    for (const auto& c : countries()) {
-      total += c.block_weight;
-      cumulative.push_back(total);
-    }
-  }
-
-  std::size_t pick(Xoshiro256& rng) const {
-    const double r = rng.uniform(0.0, total);
-    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
-    return static_cast<std::size_t>(it - cumulative.begin());
-  }
-};
-
-std::size_t pick_city(const geo::CountryInfo& c, Xoshiro256& rng) {
-  double total = 0.0;
-  for (const auto& city : c.cities) total += city.weight;
+  for (const auto& city : cities) total += city.weight;
   double r = rng.uniform(0.0, total);
-  for (std::size_t i = 0; i < c.cities.size(); ++i) {
-    r -= c.cities[i].weight;
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    r -= cities[i].weight;
     if (r <= 0.0) return i;
   }
-  return c.cities.size() - 1;
+  return cities.size() - 1;
 }
 
 /// First synthetic block id; generated block i is kSyntheticBase + i.
@@ -54,6 +35,21 @@ BlockGenerator::BlockGenerator(WorldConfig config)
   if (config_.calendar.empty() && !config_.quiet_calendar) {
     config_.calendar = default_calendar();
   }
+  layers_ =
+      CountryLayerTable(config_.country_layers, config_.outage_rate_per_90d,
+                        config_.renumber_probability, config_.horizon_start,
+                        config_.horizon_end);
+  // Layer-derived recurring holidays join the calendar (even in
+  // quiet-calendar worlds: they are opt-in through country_layers).
+  // Idempotent by name so re-building a generator from an already
+  // resolved config (World::config(), checkpoint resume) does not
+  // duplicate them.
+  for (auto& e : layers_.holiday_events()) {
+    const bool present =
+        std::any_of(config_.calendar.begin(), config_.calendar.end(),
+                    [&](const Event& have) { return have.name == e.name; });
+    if (!present) config_.calendar.push_back(std::move(e));
+  }
   if (config_.include_special_blocks) add_special_blocks();
 }
 
@@ -63,7 +59,6 @@ BlockProfile BlockGenerator::make(std::size_t index) const {
 }
 
 BlockProfile BlockGenerator::make_generated(int i) const {
-  static const CountryPicker picker;
   const net::BlockId id(kSyntheticBase + static_cast<std::uint32_t>(i));
   const std::uint64_t block_seed =
       util::derive_seed(config_.seed, id.id(), 0x810CBull);
@@ -76,11 +71,13 @@ BlockProfile BlockGenerator::make_generated(int i) const {
 
   const std::size_t ci = config_.only_country
                              ? geo::country_index(*config_.only_country)
-                             : picker.pick(rng);
-  const auto& country = countries()[ci];
+                             : layers_.pick(rng);
+  const ResolvedCountry& rc = layers_.resolved(ci);
+  const auto& country = *rc.profile;
   b.country = static_cast<std::uint16_t>(ci);
-  b.tz_offset_hours = static_cast<std::int16_t>(country.utc_offset_hours);
-  const auto& city = country.cities[pick_city(country, rng)];
+  b.tz_offset_hours = static_cast<std::int16_t>(rc.utc_offset_hours);
+  b.tz_shifts = rc.tz_shifts;
+  const auto& city = country.demographics.cities[pick_city(country, rng)];
   b.lat = static_cast<float>(
       std::clamp(city.lat + rng.normal(0.0, 0.35), -89.0, 89.0));
   b.lon = static_cast<float>(city.lon + rng.normal(0.0, 0.35));
@@ -93,8 +90,7 @@ BlockProfile BlockGenerator::make_generated(int i) const {
   }
 
   const double p_diurnal =
-      std::min(0.9, config_.diurnal_scale * country.diurnal_visible_fraction /
-                        0.30);
+      std::min(0.9, config_.diurnal_scale * rc.diurnal_visible / 0.30);
   if (rng.chance(p_diurnal)) {
     const double r = rng.uniform();
     if (r < 0.45) {
@@ -165,7 +161,7 @@ BlockProfile BlockGenerator::make_generated(int i) const {
       static_cast<double>(config_.horizon_end - config_.horizon_start) /
       util::kSecondsPerDay;
   const int outages =
-      rng.poisson(config_.outage_rate_per_90d * horizon_days / 90.0);
+      rng.poisson(rc.outage_rate_per_90d * horizon_days / 90.0);
   for (int k = 0; k < outages; ++k) {
     const SimTime start = config_.horizon_start +
                           static_cast<SimTime>(rng.uniform() *
@@ -183,12 +179,36 @@ BlockProfile BlockGenerator::make_generated(int i) const {
             });
 
   // Occasional ISP renumbering (paired down/up, section 2.6).
-  if (rng.chance(config_.renumber_probability)) {
+  if (rng.chance(rc.renumber_probability)) {
     b.renumber_at = config_.horizon_start +
                     static_cast<SimTime>(
                         rng.uniform(0.1, 0.9) *
                         static_cast<double>(config_.horizon_end -
                                             config_.horizon_start));
+  }
+
+  // CGNAT absorption (adoption layer + drift): a carrier moves the
+  // block's subscribers behind carrier-grade NAT some time in
+  // [cgnat_start, cgnat_end] of the population.  Drawn from a stateless
+  // hash of the block seed — no sequential rng draw is consumed, so the
+  // default (cgnat_end == 0) world's draw order is untouched.
+  if ((is_diurnal_category(b.category) ||
+       b.category == BlockCategory::kMixed) &&
+      rc.cgnat_end > 0.0) {
+    const double u =
+        static_cast<double>(util::derive_seed(block_seed, 0xC6A7ull) >> 11) *
+        0x1.0p-53;
+    if (u < rc.cgnat_start) {
+      b.cgnat_at = config_.horizon_start;  // absorbed before the horizon
+    } else if (u < rc.cgnat_end) {
+      const double frac =
+          (u - rc.cgnat_start) / (rc.cgnat_end - rc.cgnat_start);
+      b.cgnat_at =
+          config_.horizon_start +
+          static_cast<SimTime>(
+              frac * static_cast<double>(config_.horizon_end -
+                                         config_.horizon_start));
+    }
   }
   return b;
 }
@@ -210,7 +230,13 @@ void BlockGenerator::resolve_events(BlockProfile& b,
     s.start = e->start;
     s.end = e->end;
     s.residual_attendance = e->residual_attendance;
-    if (e->kind == EventKind::kWorkFromHome) {
+    if (e->ramp_days > 0) {
+      // Gradual onset: adopting blocks phase in uniformly across the
+      // ramp window instead of stepping together on the order date.
+      s.start += static_cast<SimTime>(
+          rng.uniform() *
+          static_cast<double>(e->ramp_days * util::kSecondsPerDay));
+    } else if (e->kind == EventKind::kWorkFromHome) {
       // Organizations adopted WFH within a few days of the order.
       s.start += rng.range(-2, 3) * util::kSecondsPerDay;
     }
@@ -327,6 +353,7 @@ std::size_t WorldSlice::memory_bytes() const noexcept {
   for (const auto& b : blocks_) {
     bytes += b.suppressions.capacity() * sizeof(Suppression);
     bytes += b.outages.capacity() * sizeof(OutageInterval);
+    bytes += b.tz_shifts.capacity() * sizeof(TzShift);
   }
   return bytes;
 }

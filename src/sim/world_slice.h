@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/block_profile.h"
+#include "sim/country_layers.h"
 #include "sim/world.h"
 
 namespace diurnal::sim {
@@ -28,7 +29,8 @@ namespace diurnal::sim {
 class BlockGenerator {
  public:
   /// Resolves the config exactly as World's constructor does (default
-  /// calendar substitution) and pre-builds the few special blocks.
+  /// calendar substitution, then layer-derived holiday events), resolves
+  /// the per-country layer stack, and pre-builds the few special blocks.
   explicit BlockGenerator(WorldConfig config);
 
   /// The resolved configuration (calendar filled in).
@@ -44,6 +46,9 @@ class BlockGenerator {
   /// bitwise equal to World(config).blocks()[index].
   BlockProfile make(std::size_t index) const;
 
+  /// The resolved per-country layer stack this generator draws from.
+  const CountryLayerTable& layers() const noexcept { return layers_; }
+
   // Named case-study block ids (valid when include_special_blocks).
   net::BlockId usc_office_block() const noexcept { return usc_office_; }
   net::BlockId usc_vpn_block() const noexcept { return usc_vpn_; }
@@ -56,6 +61,7 @@ class BlockGenerator {
   void resolve_events(BlockProfile& b, util::Xoshiro256& rng) const;
 
   WorldConfig config_;
+  CountryLayerTable layers_;
   std::vector<BlockProfile> specials_;
   net::BlockId usc_office_{};
   net::BlockId usc_vpn_{};

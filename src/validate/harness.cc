@@ -19,6 +19,7 @@ core::FleetConfig fleet_config(const Scenario& s, int threads) {
   core::FleetConfig fc;
   fc.dataset = core::dataset(s.dataset);
   fc.additional_observations = s.additional_observations;
+  fc.detector.phase_shift_filter = s.phase_shift_filter;
   fc.threads = threads;
   if (s.fault_scenario != "none" && !s.fault_scenario.empty()) {
     fc.faults = fault::scenario(s.fault_scenario, fc.dataset.window());
@@ -93,6 +94,13 @@ std::vector<std::string> check_expectations(const Scenario& s,
       out.push_back(s.name + ": recall " + pct(r) + " below floor " +
                     pct(s.recall_floor));
     }
+  }
+  if (s.truth_outside_floor > 0 &&
+      c.truth_outside_detection < s.truth_outside_floor) {
+    out.push_back(s.name + ": only " +
+                  std::to_string(c.truth_outside_detection) +
+                  " truth instant(s) outside detection, floor " +
+                  std::to_string(s.truth_outside_floor));
   }
   return out;
 }

@@ -25,6 +25,7 @@ bool occupied_at(const sim::BlockProfile& b, SimTime t) {
   if (b.occupied_from >= 0 && t < b.occupied_from) return false;
   if (b.occupied_until >= 0 && t >= b.occupied_until) return false;
   if (b.vacate_at >= 0 && t >= b.vacate_at) return false;
+  if (b.cgnat_at >= 0 && t >= b.cgnat_at) return false;
   return true;
 }
 
@@ -84,6 +85,14 @@ std::vector<TruthInstance> planted_truth(const sim::BlockProfile& block,
   if (block.occupied_from >= 0 && eligible(block.occupied_from)) {
     out.push_back(
         {block.occupied_from, ChangeDirection::kUp, TruthClass::kOccupancy});
+  }
+  // CGNAT absorption ends the publicly visible population for good —
+  // the same downward occupancy-loss signature as a vacate, so it
+  // shares the occupancy truth class (and its scorecard tally).
+  if (block.cgnat_at >= 0 && eligible(block.cgnat_at) &&
+      occupied_at(block, block.cgnat_at - 1)) {
+    out.push_back(
+        {block.cgnat_at, ChangeDirection::kDown, TruthClass::kOccupancy});
   }
 
   std::sort(out.begin(), out.end(),

@@ -215,6 +215,115 @@ std::vector<Scenario> build_catalog() {
   }
   {
     Scenario s;
+    s.name = "dst_transition";
+    s.title = "US DST spring-forward inside the window: must stay silent";
+    s.world = quiet_world(151, 300, "US");
+    sim::CountryLayerOverride dst;
+    dst.code = "US";
+    dst.dst = geo::DstPolicy::kNorthern;
+    s.world.country_layers.push_back(std::move(dst));
+    s.phase_shift_filter = true;
+    // A full quarter so the 2020-03-08 spring-forward (and the hour it
+    // shifts every local schedule by) sits mid-window with settled
+    // baselines on both sides.  A one-hour phase shift must not read as
+    // an activity change.
+    s.dataset = "2020q1-ejnw";
+    s.expect_zero_truth = true;
+    s.expect_zero_confirmed = true;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wfh_ramp";
+    s.title = "WFH adoption ramped over ten days instead of a step";
+    s.world = quiet_world(109, 500, "US");
+    sim::Event e = wfh("US", Date{2020, 1, 12}, 0.65);
+    // Spread per-block onsets uniformly over Jan 12-22 (all inside the
+    // eligible-truth span) instead of the step's +-2-day jitter: the
+    // gradual version of wfh_step, scored against per-block onsets.
+    e.ramp_days = 10;
+    s.world.calendar.push_back(std::move(e));
+    s.dataset = kDataset;
+    s.precision_floor = 0.8;
+    s.recall_floor = 0.4;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "overlap_geo";
+    s.title = "curfew and holiday overlapping in the Delhi gridcell";
+    s.world = quiet_world(110, 600, "IN");
+    s.world.calendar.push_back(curfew("IN", geo::GridCell::of(28.6, 77.2),
+                                      Date{2020, 1, 10}, Date{2020, 1, 17},
+                                      0.6));
+    s.world.calendar.push_back(
+        holiday("IN", Date{2020, 1, 14}, Date{2020, 1, 21}, 0.8));
+    s.dataset = kDataset;
+    // In-cell blocks that adopt both events carry four truth instants
+    // within eleven days; the second onset moves residual attendance
+    // from 0.15 to 0.08 (nearly invisible) and the first recovery is
+    // masked by the still-active holiday, so recall is structurally
+    // bounded well below the single-event scenarios.
+    s.precision_floor = 0.6;
+    s.recall_floor = 0.25;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "cgnat_fade";
+    s.title = "CGNAT growth absorbs blocks: diurnality fades to gateways";
+    s.world = quiet_world(111, 600, "US");
+    sim::CountryLayerOverride cg;
+    cg.code = "US";
+    cg.cgnat_trend_per_year = 1.0;  // migrations spread over the horizon
+    s.world.country_layers.push_back(std::move(cg));
+    // Probe the full quarter over the default nine-month horizon.  A
+    // mid-window CGNAT absorption strips the block's diurnality, so the
+    // section 3.2.2 per-segment strictness gate (DiurnalOptions::
+    // segment_days) sheds it from the change-sensitive set before the
+    // detector ever sees it: the conversions are real but structurally
+    // invisible.  The scenario therefore asserts the masking itself —
+    // a healthy crop of planted conversions routed to
+    // truth_outside_detection, and zero confirmed detections anywhere
+    // (a fade must not surface as a spurious activity change on the
+    // blocks that survive classification).
+    s.dataset = "2020q1-ejnw";
+    s.expect_zero_confirmed = true;
+    s.truth_outside_floor = 10;  // measured: 16 masked conversions
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "multiyear_seasonal";
+    s.title = "second January of a multi-year world: annual holiday recurs";
+    s.world = quiet_world(112, 400, "US");
+    s.world.horizon_start = time_of(2020, 1, 1);
+    s.world.horizon_end = time_of(2021, 7, 1);
+    sim::CountryLayerOverride hol;
+    hol.code = "US";
+    geo::AnnualHoliday h;
+    h.name = "planted-annual";
+    h.month = 1;
+    h.day = 12;
+    h.duration_days = 7;
+    h.adoption = 0.9;
+    h.residual_attendance = 0.08;
+    hol.holidays.push_back(std::move(h));
+    s.world.country_layers.push_back(std::move(hol));
+    // Probe the SECOND year's instance: the 2020 recurrence is history
+    // by the analysis window, so detection rests on the annual-holiday
+    // materialization being correct across year boundaries.
+    s.dataset = "2021m1-ejnw";
+    // Like holiday_dip, the recovery edge of a week-long dip pairs up
+    // with its own onset under the outage-discard heuristic, so a
+    // third of the matched pairs are discarded before scoring; the
+    // floors account for that structural recall ceiling.
+    s.precision_floor = 0.7;
+    s.recall_floor = 0.2;
+    v.push_back(std::move(s));
+  }
+  {
+    Scenario s;
     s.name = "golden_mix";
     s.title = "the golden-digest world (real calendar): perf/accuracy anchor";
     s.world = sim::WorldConfig{};  // the bench_fleet reference world

@@ -40,11 +40,25 @@ struct Scenario {
   /// stay bit-identical with the perf-gate digest.
   bool additional_observations = true;
 
+  /// Enable the detector's raw-volume corroboration cross-check (the
+  /// DST/timezone filter, DetectorOptions::phase_shift_filter).  Off by
+  /// default so pre-existing scenarios keep their exact scorecards; DST
+  /// scenarios turn it on, since a clock shift perturbs the globally
+  /// fitted STL trend without moving any real activity volume.
+  bool phase_shift_filter = false;
+
   // Expectations the harness enforces on every run (0 disables a floor).
   bool expect_zero_truth = false;      ///< negative control: nothing planted
   bool expect_zero_confirmed = false;  ///< and nothing may be detected
   double precision_floor = 0.0;        ///< undefined precision passes
   double recall_floor = 0.0;
+  /// Minimum planted-truth instants that must land on blocks the
+  /// classifier rejected (truth_outside_detection).  Masking scenarios
+  /// use this to prove the planted effect is real but structurally
+  /// invisible: a CGNAT fade strips a block's diurnality mid-window, so
+  /// the section 3.2.2 per-segment strictness gate sheds it from the
+  /// change-sensitive set before detection ever sees it.
+  int truth_outside_floor = 0;
   /// Clean counterpart for faulted variants: recall must not exceed the
   /// counterpart's (faults can only lose evidence, never invent onsets).
   std::string clean_counterpart;

@@ -773,6 +773,57 @@ TEST(ShardCheckpoint, FingerprintSeparatesConfigsButNotExecutionShape) {
   EXPECT_NE(core::checkpoint_fingerprint(wc, fc, 32), base);
 }
 
+TEST(ShardCheckpoint, FingerprintCoversCalendarAndLayerContent) {
+  // A foreign checkpoint whose world has the same number of planted
+  // events — but a different date, adoption rate, or ramp width — is a
+  // different experiment and must not be resumable.  Same for the
+  // country-layer stack and the new detector toggles.
+  auto wc = shard_world_config();
+  const auto fc = shard_fleet_config(2);
+  // The shard config's calendar is empty; plant one event so content
+  // mutations have something to vary.
+  sim::Event planted;
+  planted.kind = sim::EventKind::kWorkFromHome;
+  planted.name = "fingerprint-probe";
+  planted.scope.country_code = "US";
+  planted.start = util::time_of(2020, 2, 1);
+  planted.end = util::time_of(2020, 7, 1);
+  wc.calendar.push_back(std::move(planted));
+  const auto base = core::checkpoint_fingerprint(wc, fc, 64);
+
+  auto shifted = wc;
+  shifted.calendar[0].start += util::kSecondsPerDay;
+  EXPECT_NE(core::checkpoint_fingerprint(shifted, fc, 64), base);
+
+  auto ramped = wc;
+  ramped.calendar[0].ramp_days = 10;
+  EXPECT_NE(core::checkpoint_fingerprint(ramped, fc, 64), base);
+
+  auto adopted = wc;
+  adopted.calendar[0].adoption += 0.05;
+  EXPECT_NE(core::checkpoint_fingerprint(adopted, fc, 64), base);
+
+  auto layered = wc;
+  sim::CountryLayerOverride o;
+  o.code = "US";
+  o.cgnat_trend_per_year = 1.0;
+  layered.country_layers.push_back(std::move(o));
+  EXPECT_NE(core::checkpoint_fingerprint(layered, fc, 64), base);
+
+  auto dst = wc;
+  sim::CountryLayerOverride d;
+  d.code = "US";
+  d.dst = geo::DstPolicy::kNorthern;
+  dst.country_layers.push_back(std::move(d));
+  EXPECT_NE(core::checkpoint_fingerprint(dst, fc, 64), base);
+  EXPECT_NE(core::checkpoint_fingerprint(dst, fc, 64),
+            core::checkpoint_fingerprint(layered, fc, 64));
+
+  auto phase = fc;
+  phase.detector.phase_shift_filter = true;
+  EXPECT_NE(core::checkpoint_fingerprint(wc, phase, 64), base);
+}
+
 // ---------------------------------------------------------------------------
 // util: peak-RSS reset probe (containers without writable clear_refs)
 // ---------------------------------------------------------------------------

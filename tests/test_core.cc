@@ -170,6 +170,56 @@ TEST(Detect, ShortSeriesYieldsEmptyResult) {
   EXPECT_TRUE(det.trend.empty());
 }
 
+// Hourly office-like series whose workday start shifts by one hour at
+// `shift_day` — a pure clock change (DST): same volume, moved phase.
+std::vector<double> phase_shift_series(int days, double level,
+                                       int shift_day) {
+  std::vector<double> v;
+  for (int d = 0; d < days; ++d) {
+    const int wd = (d + 2) % 7;  // epoch is a Tuesday
+    const bool work = wd >= 1 && wd <= 5;
+    const int h0 = d >= shift_day ? 10 : 9;
+    for (int h = 0; h < 24; ++h) {
+      v.push_back(work && h >= h0 && h < h0 + 8 ? level : 1.0);
+    }
+  }
+  return v;
+}
+
+TEST(Detect, PhaseShiftFilterAnnotatesUncorroboratedChanges) {
+  // A mid-series one-hour phase shift perturbs the globally fitted STL
+  // trend without moving any volume.  The corroboration filter must
+  // annotate every change it produces as phase-only, and it must only
+  // annotate: the change list itself is identical to the unfiltered
+  // detector's.
+  const auto counts = phase_shift_series(70, 15.0, 42);
+  const util::TimeSeries series(0, util::kSecondsPerHour, counts);
+  DetectorOptions on;
+  on.phase_shift_filter = true;
+  const auto base = detect_changes(series);
+  const auto filtered = detect_changes(series, on);
+  ASSERT_EQ(base.changes.size(), filtered.changes.size());
+  for (std::size_t i = 0; i < base.changes.size(); ++i) {
+    EXPECT_EQ(base.changes[i].start, filtered.changes[i].start);
+    EXPECT_EQ(base.changes[i].direction, filtered.changes[i].direction);
+  }
+  EXPECT_TRUE(filtered.activity_changes().empty());
+}
+
+TEST(Detect, PhaseShiftFilterKeepsCorroboratedDrop) {
+  // A genuine WFH-style drop moves raw volume along with the trend, so
+  // the corroboration filter must leave it counted.
+  const auto counts = office_series(70, 15.0, 2.0, 42);
+  DetectorOptions on;
+  on.phase_shift_filter = true;
+  const auto det =
+      detect_changes(util::TimeSeries(0, util::kSecondsPerHour, counts), on);
+  EXPECT_FALSE(det.activity_changes().empty());
+  for (const auto& c : det.activity_changes()) {
+    EXPECT_FALSE(c.filtered_phase_only);
+  }
+}
+
 TEST(Detect, ComponentsExposedForPlotting) {
   const auto counts = office_series(28, 12.0);
   const auto det =

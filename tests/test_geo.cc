@@ -45,11 +45,20 @@ TEST(Countries, RegistryInvariants) {
   EXPECT_GE(all.size(), 25u);
   for (const auto& c : all) {
     EXPECT_EQ(c.code.size(), 2u) << c.name;
-    EXPECT_FALSE(c.cities.empty()) << c.name;
-    EXPECT_GT(c.block_weight, 0.0) << c.name;
-    EXPECT_GT(c.diurnal_visible_fraction, 0.0) << c.name;
-    EXPECT_LE(c.diurnal_visible_fraction, 1.0) << c.name;
-    for (const auto& city : c.cities) {
+    EXPECT_FALSE(c.demographics.cities.empty()) << c.name;
+    EXPECT_GT(c.demographics.block_weight, 0.0) << c.name;
+    EXPECT_GT(c.adoption.diurnal_visible_fraction, 0.0) << c.name;
+    EXPECT_LE(c.adoption.diurnal_visible_fraction, 1.0) << c.name;
+    // Default registry layers are neutral: that is the bitwise
+    // equivalence contract (DESIGN §12) the golden digest rests on.
+    EXPECT_EQ(c.adoption.cgnat_fraction, 0.0) << c.name;
+    EXPECT_EQ(c.network_ops.renumber_multiplier, 1.0) << c.name;
+    EXPECT_EQ(c.network_ops.outage_multiplier, 1.0) << c.name;
+    EXPECT_EQ(c.time_rules.dst, DstPolicy::kNone) << c.name;
+    EXPECT_TRUE(c.time_rules.holidays.empty()) << c.name;
+    EXPECT_EQ(c.drift.adoption_trend_per_year, 0.0) << c.name;
+    EXPECT_EQ(c.drift.cgnat_trend_per_year, 0.0) << c.name;
+    for (const auto& city : c.demographics.cities) {
       EXPECT_GE(city.lat, -90.0);
       EXPECT_LE(city.lat, 90.0);
       EXPECT_GE(city.lon, -180.0);

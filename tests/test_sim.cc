@@ -9,7 +9,9 @@
 #include "geo/countries.h"
 #include "sim/activity_cursor.h"
 #include "sim/block_profile.h"
+#include "sim/country_layers.h"
 #include "sim/events.h"
+#include "sim/schedule.h"
 #include "sim/world.h"
 
 namespace diurnal::sim {
@@ -325,6 +327,22 @@ BlockProfile random_profile(util::Xoshiro256& rng) {
   }
   if (rng.chance(0.25)) b.renumber_at = rng.range(0, kCursorHorizon);
   if (rng.chance(0.2)) b.vacate_at = rng.range(0, kCursorHorizon);
+  // DST-style offset shifts (sorted, absolute offsets) and CGNAT
+  // absorption, so the cursor-oracle equivalence covers the
+  // country-layer structure too.
+  if (rng.chance(0.3)) {
+    const int n_shift = static_cast<int>(rng.range(1, 3));
+    SimTime at = rng.range(0, kCursorHorizon / 2);
+    for (int i = 0; i < n_shift; ++i) {
+      TzShift s;
+      s.at = at;
+      s.offset_hours =
+          static_cast<std::int16_t>(b.tz_offset_hours + (i % 2 == 0 ? 1 : 0));
+      b.tz_shifts.push_back(s);
+      at += rng.range(3600, kCursorHorizon / 2);
+    }
+  }
+  if (rng.chance(0.2)) b.cgnat_at = rng.range(0, kCursorHorizon);
   if (rng.chance(0.3)) {
     b.occupied_from = rng.range(0, kCursorHorizon / 2);
     if (rng.chance(0.7)) {
@@ -370,7 +388,9 @@ TEST(ActivityCursor, MatchesOracleAroundStructuralEdges) {
                                   b.renumber_at + 4 * 3600,
                                   b.vacate_at,
                                   b.occupied_from,
-                                  b.occupied_until};
+                                  b.occupied_until,
+                                  b.cgnat_at};
+    for (const auto& s : b.tz_shifts) edges.push_back(s.at);
     for (const auto& o : b.outages) {
       edges.push_back(o.start);
       edges.push_back(o.end);
@@ -392,6 +412,54 @@ TEST(ActivityCursor, MatchesOracleAroundStructuralEdges) {
       }
     }
   }
+}
+
+TEST(Schedule, DstTransitionsShiftLocalClockByExactlyOneHour) {
+  // US Pacific block over the default horizon: DST is already in force
+  // on 2019-10-01, falls back 2019-11-03 02:00 PDT (09:00 UTC), and
+  // springs forward 2020-03-08 02:00 PST (10:00 UTC).
+  BlockProfile b;
+  b.tz_offset_hours = -8;
+  b.tz_shifts = materialize_dst(geo::DstPolicy::kNorthern, -8,
+                                time_of(2019, 10, 1), time_of(2020, 7, 1));
+  ASSERT_EQ(b.tz_shifts.size(), 3u);
+  EXPECT_EQ(b.tz_shifts[0].at, time_of(2019, 10, 1));
+  EXPECT_EQ(b.tz_shifts[0].offset_hours, -7);
+  EXPECT_EQ(b.tz_shifts[1].at, time_of(2019, 11, 3) + 9 * 3600);
+  EXPECT_EQ(b.tz_shifts[1].offset_hours, -8);
+  EXPECT_EQ(b.tz_shifts[2].at, time_of(2020, 3, 8) + 10 * 3600);
+  EXPECT_EQ(b.tz_shifts[2].offset_hours, -7);
+
+  // Every transition moves the local clock by exactly one hour, and the
+  // LocalClock view shows the classic skip/repeat.
+  for (std::size_t i = 1; i < b.tz_shifts.size(); ++i) {
+    const SimTime at = b.tz_shifts[i].at;
+    const auto off_before = schedule::tz_offset_seconds(b, at - 1);
+    const auto off_after = schedule::tz_offset_seconds(b, at);
+    EXPECT_EQ(std::abs(off_after - off_before), 3600) << "shift " << i;
+  }
+  // Fall back: 01:xx PDT is followed by 01:xx PST — the hour repeats.
+  EXPECT_EQ(schedule::local_clock(b, b.tz_shifts[1].at - 3600).hour, 1);
+  EXPECT_EQ(schedule::local_clock(b, b.tz_shifts[1].at).hour, 1);
+  // Spring forward: 01:xx PST is followed by 03:xx PDT — 02:xx is skipped.
+  EXPECT_EQ(schedule::local_clock(b, b.tz_shifts[2].at - 3600).hour, 1);
+  EXPECT_EQ(schedule::local_clock(b, b.tz_shifts[2].at).hour, 3);
+}
+
+TEST(Schedule, SouthernDstMirrorsTheNorthernSeason) {
+  // Southern-hemisphere DST spans the new year: in force from the first
+  // Sunday of October through the first Sunday of April.
+  const auto shifts =
+      materialize_dst(geo::DstPolicy::kSouthern, 10, time_of(2019, 10, 1),
+                      time_of(2020, 7, 1));
+  ASSERT_EQ(shifts.size(), 2u);
+  EXPECT_EQ(shifts[0].offset_hours, 11);  // spring forward, Oct 6
+  EXPECT_EQ(shifts[1].offset_hours, 10);  // fall back, Apr 5
+  // Transition instants are UTC: 02:00 local standard on the first
+  // Sunday of October (UTC+10), 02:00 local daylight on the first
+  // Sunday of April (UTC+11).
+  EXPECT_EQ(shifts[0].at, time_of(2019, 10, 6) + 2 * 3600 - 10 * 3600);
+  EXPECT_EQ(shifts[1].at, time_of(2020, 4, 5) + 2 * 3600 - 11 * 3600);
 }
 
 TEST(ActivityCursor, RebindResetsMonotonicityContract) {

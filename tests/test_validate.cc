@@ -224,11 +224,12 @@ TEST(Baseline, ComparatorFlagsEveryCounterDrift) {
 
 TEST(Catalog, HasTheContractedScenarios) {
   const auto& cat = validate::catalog();
-  EXPECT_GE(cat.size(), 8u);
+  EXPECT_GE(cat.size(), 15u);
   for (const char* name :
        {"clean_diurnal", "wfh_step", "holiday_dip", "curfew_geo",
         "paired_outage", "wfh_dropout", "wfh_bursts", "wfh_meltdown",
-        "quiet_calendar", "golden_mix"}) {
+        "quiet_calendar", "dst_transition", "wfh_ramp", "overlap_geo",
+        "cgnat_fade", "multiyear_seasonal", "golden_mix"}) {
     EXPECT_NE(validate::find_scenario(name), nullptr) << name;
   }
   EXPECT_EQ(validate::find_scenario("no_such_scenario"), nullptr);
@@ -291,6 +292,40 @@ TEST(ValidateEndToEnd, QuietCalendarStaysSilentOnBothDrives) {
     EXPECT_TRUE(validate::check_expectations(*s, run).empty())
         << validate::to_string(drive);
   }
+}
+
+TEST(ValidateEndToEnd, DstTransitionStaysSilentOnBothDrives) {
+  // The 2020-03-08 US spring-forward sits inside the probed quarter;
+  // nothing is planted, so the negative control must stay silent on
+  // both the batch and the streaming drive.
+  const auto* s = validate::find_scenario("dst_transition");
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->expect_zero_confirmed);
+  const sim::World world(s->world);
+  for (const auto drive :
+       {validate::Drive::kBatch, validate::Drive::kStreaming}) {
+    const auto run = validate::run_scenario(*s, world, drive, 2);
+    EXPECT_EQ(run.score.truth_total(), 0) << validate::to_string(drive);
+    EXPECT_EQ(run.score.true_positive(), 0) << validate::to_string(drive);
+    EXPECT_EQ(run.score.false_positive, 0) << validate::to_string(drive);
+    EXPECT_TRUE(validate::check_expectations(*s, run).empty())
+        << validate::to_string(drive);
+  }
+}
+
+TEST(ValidateEndToEnd, CgnatFadeMasksConversionsWithoutFalseAlarms) {
+  // CGNAT absorption strips diurnality mid-window, so the per-segment
+  // strictness gate sheds the converting blocks before detection: the
+  // planted conversions must all land outside detection, and no block
+  // that survives classification may raise a confirmed change.
+  const auto* s = validate::find_scenario("cgnat_fade");
+  ASSERT_NE(s, nullptr);
+  const auto run = validate::run_scenario(*s, validate::Drive::kBatch, 2);
+  EXPECT_GE(run.score.truth_outside_detection, s->truth_outside_floor);
+  EXPECT_EQ(run.score.truth_total(), 0);
+  EXPECT_EQ(run.score.true_positive(), 0);
+  EXPECT_EQ(run.score.false_positive, 0);
+  EXPECT_TRUE(validate::check_expectations(*s, run).empty());
 }
 
 TEST(ValidateEndToEnd, CleanDiurnalNegativeControlPasses) {

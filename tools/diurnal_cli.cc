@@ -52,6 +52,7 @@
 #include "fault/fault_plan.h"
 #include "geo/countries.h"
 #include "recon/block_recon.h"
+#include "sim/country_layers.h"
 #include "util/date.h"
 #include "util/mem.h"
 #include "util/table.h"
@@ -123,7 +124,9 @@ std::int64_t parse_duration(const std::string& s) {
                "                       [--max-shards K]\n"
                "       diurnal_cli block [--dataset D] [--id A.B.C.0/24|--usc|--vpn]\n"
                "                       [--fault SCENARIO]\n"
-               "       diurnal_cli datasets | sites | faults\n");
+               "       diurnal_cli datasets | sites | faults\n"
+               "       diurnal_cli --list-countries\n"
+               "       diurnal_cli --explain-country=CC\n");
   std::exit(2);
 }
 
@@ -419,7 +422,94 @@ int cmd_block(const Args& a) {
 
 }  // namespace
 
+/// Resolves the default world's country-layer stack (registry values,
+/// no overrides, default horizon) — the view `run` uses unless a
+/// scenario stacks CountryLayerOverride entries on top.
+sim::CountryLayerTable default_layer_table() {
+  const sim::WorldConfig wc;
+  return sim::CountryLayerTable(wc.country_layers, wc.outage_rate_per_90d,
+                                wc.renumber_probability, wc.horizon_start,
+                                wc.horizon_end);
+}
+
+int cmd_list_countries() {
+  const auto table = default_layer_table();
+  std::printf("%-4s %-22s %7s %8s %12s %8s %5s %4s %8s\n", "code", "name",
+              "weight", "diurnal", "cgnat", "outage", "renum", "utc",
+              "dst");
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& rc = table.resolved(i);
+    const auto& p = *rc.profile;
+    std::printf("%-4s %-22s %7.2f %8.3f %5.3f->%5.3f %8.3f %5.3f %+4d %8s\n",
+                p.code.c_str(), p.name.c_str(), rc.pick_weight,
+                rc.diurnal_visible, rc.cgnat_start, rc.cgnat_end,
+                rc.outage_rate_per_90d, rc.renumber_probability,
+                rc.utc_offset_hours,
+                std::string(geo::to_string(rc.dst)).c_str());
+  }
+  return 0;
+}
+
+int cmd_explain_country(const std::string& code) {
+  const auto table = default_layer_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& rc = table.resolved(i);
+    const auto& p = *rc.profile;
+    if (p.code != code) continue;
+    std::printf("%s (%s) — resolved layer stack over the default horizon\n",
+                p.name.c_str(), p.code.c_str());
+    std::printf("  demographics:  pick weight %.2f, %zu cities\n",
+                rc.pick_weight, p.demographics.cities.size());
+    std::printf("  adoption:      diurnal-visible %.3f, CGNAT %.3f -> %.3f "
+                "over the horizon\n",
+                rc.diurnal_visible, rc.cgnat_start, rc.cgnat_end);
+    std::printf("  network ops:   outage rate %.3f per 90d, renumber "
+                "probability %.3f\n",
+                rc.outage_rate_per_90d, rc.renumber_probability);
+    std::printf("  time rules:    UTC%+d, DST %s, %zu annual holiday(s)\n",
+                rc.utc_offset_hours,
+                std::string(geo::to_string(rc.dst)).c_str(),
+                rc.holidays.size());
+    for (const auto& h : rc.holidays) {
+      std::printf("                 %s: %02d-%02d, %d day(s), adoption %.2f, "
+                  "residual %.2f\n",
+                  h.name.c_str(), h.month, h.day, h.duration_days,
+                  h.adoption, h.residual_attendance);
+    }
+    if (rc.tz_shifts.empty()) {
+      std::printf("                 no tz transitions in the horizon\n");
+    }
+    for (const auto& s : rc.tz_shifts) {
+      std::printf("                 %s -> UTC%+d\n",
+                  util::to_string_time(s.at).c_str(),
+                  static_cast<int>(s.offset_hours));
+    }
+    std::printf("  drift:         adoption %+.3f/yr, CGNAT %+.3f/yr\n",
+                rc.adoption_trend_per_year, rc.cgnat_trend_per_year);
+    if (p.wfh_2020) {
+      std::printf("  wfh 2020:      %s\n",
+                  util::to_string(*p.wfh_2020).c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown country code '%s' (try --list-countries)\n",
+               code.c_str());
+  return 2;
+}
+
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "--list-countries" || cmd == "countries") {
+      return cmd_list_countries();
+    }
+    if (cmd.rfind("--explain-country=", 0) == 0) {
+      return cmd_explain_country(cmd.substr(std::strlen("--explain-country=")));
+    }
+    if (cmd == "--explain-country" && argc >= 3) {
+      return cmd_explain_country(argv[2]);
+    }
+  }
   const Args a = parse(argc, argv);
   if (a.command == "run") return cmd_run(a);
   if (a.command == "block") return cmd_block(a);

@@ -1,0 +1,202 @@
+// BENCH serve: the concurrent query plane over the streaming engine.
+//
+// Runs core::SnapshotServer on the reference fleet world: one writer
+// thread advances epochs (publishing an immutable snapshot per epoch,
+// engine image included) while N reader threads hammer the query API —
+// per-block status, trend tails, alarms, gridcell rollups, scorecard —
+// each query timed individually.  Reports query latency p50/p90/p99
+// while the writer is advancing, ingest/backpressure counters, and ends
+// with the equivalence gate: drain() must hash to the same fleet digest
+// as the batch run_fleet pass, or the bench exits nonzero.
+//
+// Scale knobs: DIURNAL_BENCH_BLOCKS, DIURNAL_BENCH_SEED,
+// DIURNAL_BENCH_EPOCH_SECONDS (default 86400), DIURNAL_BENCH_READERS
+// (default 4), DIURNAL_BENCH_SERVE_P99_BUDGET_US (default 250000), and
+// DIURNAL_BENCH_JSON (output path, default BENCH_serve.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/datasets.h"
+#include "core/digest.h"
+#include "core/pipeline.h"
+#include "core/snapshot_server.h"
+#include "sim/world.h"
+#include "util/date.h"
+
+using namespace diurnal;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double quantile_us(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto i = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  bench::header("BENCH serve",
+                "concurrent query plane: readers vs the epoch writer",
+                "core::SnapshotServer; see EXPERIMENTS.md 'bench_serve'");
+  const auto wc = bench::scaled_world(2000, 1);
+  const sim::World world(wc);
+
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020m1-ejnw");
+  fc.threads = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+
+  const std::int64_t epoch_seconds = std::max(
+      1, bench::env_int("DIURNAL_BENCH_EPOCH_SECONDS",
+                        static_cast<int>(util::kSecondsPerDay)));
+  const int n_readers = std::max(4, bench::env_int("DIURNAL_BENCH_READERS", 4));
+  const double p99_budget_us = static_cast<double>(
+      bench::env_int("DIURNAL_BENCH_SERVE_P99_BUDGET_US", 250000));
+
+  // Batch reference: the digest the drained serve run must hit.
+  const auto batch = core::run_fleet(world, fc);
+  const std::uint64_t batch_digest = core::fleet_digest(batch);
+
+  core::ServeConfig sc;
+  sc.epoch_duration = epoch_seconds;
+  core::SnapshotServer server(world, fc, sc);
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(n_readers));
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<std::size_t>(n_readers));
+  const auto& blocks = world.blocks();
+  for (int t = 0; t < n_readers; ++t) {
+    readers.emplace_back([&, t] {
+      auto& lat = latencies[static_cast<std::size_t>(t)];
+      lat.reserve(1 << 16);
+      // Per-reader xorshift so readers don't walk the same blocks.
+      std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (t + 1);
+      std::uint64_t sink = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        const auto& b = blocks[rng % blocks.size()];
+        const auto q0 = Clock::now();
+        const auto snap = server.snapshot();
+        if (snap == nullptr) {
+          std::this_thread::yield();
+          continue;
+        }
+        switch (rng % 5) {
+          case 0: {
+            const auto* row = snap->block(b.id);
+            if (row != nullptr) sink += row->delivered;
+            break;
+          }
+          case 1: {
+            const auto tr = snap->trend(b.id);
+            if (!tr.empty()) sink += static_cast<std::uint64_t>(tr.back());
+            break;
+          }
+          case 2:
+            sink += snap->alarms_for(b.id).size();
+            break;
+          case 3: {
+            const auto* cs = snap->cell(b.cell());
+            if (cs != nullptr) {
+              sink += static_cast<std::uint64_t>(cs->alarms_down);
+            }
+            break;
+          }
+          default:
+            sink += snap->scorecard().blocks_classified;
+            break;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                .count());
+      }
+      // Keep the side effects alive without printing per reader.
+      if (sink == 0xFFFFFFFFFFFFFFFFULL) std::puts("");
+    });
+  }
+
+  const auto t0 = Clock::now();
+  server.start();
+  server.feed_all();
+  const auto streamed = server.drain();
+  const double serve_secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  done.store(true);
+  for (auto& r : readers) r.join();
+
+  const std::uint64_t serve_digest = core::fleet_digest(streamed);
+  const core::ServeStats stats = server.stats();
+  const auto final_snap = server.snapshot();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = quantile_us(all, 0.5);
+  const double p90 = quantile_us(all, 0.9);
+  const double p99 = quantile_us(all, 0.99);
+  const double pmax = all.empty() ? 0.0 : all.back();
+
+  std::printf("serve:  %7.2fs | %llu epochs, %llu observations\n", serve_secs,
+              static_cast<unsigned long long>(stats.epochs_published),
+              static_cast<unsigned long long>(stats.observations));
+  std::printf(
+      "  feed     %llu accepted, %llu backpressure waits, peak depth %zu/%zu\n",
+      static_cast<unsigned long long>(stats.feed_accepted),
+      static_cast<unsigned long long>(stats.feed_waits), stats.feed_peak_depth,
+      stats.feed_capacity);
+  std::printf("  snapshot %.2f MB (rows + trends + alarms + image)\n",
+              static_cast<double>(stats.snapshot_bytes) * 1e-6);
+  std::printf(
+      "  queries  %zu from %d readers | p50 %.1fus p90 %.1fus p99 %.1fus "
+      "max %.1fus (budget %.0fus)\n",
+      all.size(), n_readers, p50, p90, p99, pmax, p99_budget_us);
+  const bool equivalent = serve_digest == batch_digest;
+  std::printf("digest batch %s | serve %s -> %s\n",
+              core::digest_hex(batch_digest).c_str(),
+              core::digest_hex(serve_digest).c_str(),
+              equivalent ? "HOLDS (batch == drained serve)" : "VIOLATED");
+  bench::print_funnel("funnel", streamed.funnel);
+
+  bench::JsonObject j;
+  j.add("bench", "serve")
+      .add("dataset", fc.dataset.abbr)
+      .add("world_blocks", static_cast<std::int64_t>(world.blocks().size()))
+      .add("world_seed", static_cast<std::int64_t>(wc.seed))
+      .add("threads", fc.threads)
+      .add("readers", n_readers)
+      .add("epoch_seconds", epoch_seconds)
+      .add("epochs", static_cast<std::int64_t>(stats.epochs_published))
+      .add("observations", static_cast<std::int64_t>(stats.observations))
+      .add("serve_seconds", serve_secs)
+      .add("queries", static_cast<std::int64_t>(all.size()))
+      .add("query_p50_us", p50)
+      .add("query_p90_us", p90)
+      .add("query_p99_us", p99)
+      .add("query_max_us", pmax)
+      .add("p99_budget_us", p99_budget_us)
+      .add("within_budget", p99 <= p99_budget_us)
+      .add("feed_waits", static_cast<std::int64_t>(stats.feed_waits))
+      .add("feed_peak_depth", static_cast<std::int64_t>(stats.feed_peak_depth))
+      .add("snapshot_bytes", static_cast<std::int64_t>(stats.snapshot_bytes))
+      .add("final_snapshot",
+           final_snap != nullptr && final_snap->final_epoch())
+      .add("equivalent", equivalent)
+      .add("fleet_digest", core::digest_hex(serve_digest));
+  bench::write_bench_json("BENCH_serve.json", j);
+  return equivalent ? 0 : 1;
+}

@@ -452,16 +452,21 @@ void CheckpointManager::record_shard(std::size_t k, std::size_t begin,
 
   const std::lock_guard<std::mutex> lock(mu_);
   completed_.insert(k);
+  dirty_ = true;
   if (++unflushed_ >= manifest_every_) {
     write_manifest_locked();
-    unflushed_ = 0;
   }
 }
 
 void CheckpointManager::flush_manifest() {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (!dirty_) return;
   write_manifest_locked();
-  unflushed_ = 0;
+}
+
+std::size_t CheckpointManager::manifest_writes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return manifest_writes_;
 }
 
 void CheckpointManager::write_manifest_locked() {
@@ -476,6 +481,9 @@ void CheckpointManager::write_manifest_locked() {
   for (const std::size_t k : completed_) w.u64(k);
   w.end_section();
   util::write_state_file(manifest_path(), w.bytes());
+  unflushed_ = 0;
+  dirty_ = false;
+  ++manifest_writes_;
 }
 
 }  // namespace diurnal::core

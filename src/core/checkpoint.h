@@ -99,8 +99,16 @@ class CheckpointManager {
                     const FleetResult& fleet, const ChangeAggregator& agg,
                     bool with_series);
 
-  /// Rewrites the manifest with every shard recorded or loaded so far.
+  /// Rewrites the manifest with every shard recorded so far.
+  /// Idempotent: a flush with nothing new since the last write is a
+  /// no-op, so the run-end finalize cannot race (or redundantly repeat)
+  /// a manifest write that `manifest_every` already triggered on the
+  /// final shard.
   void flush_manifest();
+
+  /// Manifest rewrites performed by this manager (regression hook for
+  /// the finalize-idempotence tests).
+  std::size_t manifest_writes() const;
 
   std::string shard_path(std::size_t k) const;
   std::string manifest_path() const;
@@ -115,9 +123,11 @@ class CheckpointManager {
   std::uint64_t total_blocks_;
   std::uint64_t shard_size_;
   std::size_t manifest_every_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::set<std::size_t> completed_;
   std::size_t unflushed_ = 0;
+  bool dirty_ = false;  ///< completions not yet persisted in the manifest
+  std::size_t manifest_writes_ = 0;
 };
 
 }  // namespace diurnal::core

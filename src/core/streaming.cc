@@ -714,6 +714,44 @@ FleetResult StreamingFleet::finalize() {
   return std::move(result_);
 }
 
+void StreamingFleet::extract_rows(std::vector<BlockSnapshotRow>& rows) const {
+  assert(!finished_);
+  rows.resize(blocks_.size());
+  recon::ReconStats stats;  // recycled across rows
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    BlockSnapshotRow& row = rows[i];
+    row = BlockSnapshotRow{};
+    row.id = blocks_[i].id;
+    if (cells_.empty()) continue;  // before the first advance
+    const Cell& c = cells_[i];
+    row.begun = c.begun;
+    row.active = c.active;
+    row.classified = c.classified;
+    row.watched = c.watched;
+    row.delivered = c.delivered;
+    if (c.begun && blocks_[i].eb_count > 0) {
+      const recon::StreamHealth h = c.stream.health();
+      row.emitted = h.emitted;
+      if (row.emitted > 0) {
+        c.stream.recon_state().snapshot_stats(stats);
+        row.evidence_fraction = stats.evidence_fraction;
+        row.max_gap_hours = stats.max_gap_seconds / 3600.0;
+      }
+      if (c.classified) {
+        row.cls = result_.outcomes[i].cls;
+        row.degradation = result_.degradation.blocks[i];
+      }
+    }
+  }
+}
+
+std::span<const double> StreamingFleet::emitted_series(std::size_t i) const {
+  if (cells_.empty()) return {};
+  const Cell& c = cells_[i];
+  if (!c.begun || blocks_[i].eb_count == 0) return {};
+  return c.stream.series().first(c.stream.recon_state().emitted());
+}
+
 namespace {
 
 // Cell flag bits in the engine snapshot.

@@ -68,6 +68,27 @@ struct EpochReport {
 
 class StreamingFleet {
  public:
+  /// Read-only per-block row extracted from the incremental drive for
+  /// the query plane's epoch snapshots (core/snapshot_server.h).  Rows
+  /// align with the engine's block span.
+  struct BlockSnapshotRow {
+    net::BlockId id{};
+    bool begun = false;
+    bool active = false;      ///< still ingesting rounds
+    bool classified = false;  ///< cls/degradation below are authoritative
+    bool watched = false;     ///< provisional detector runs on this block
+    std::size_t delivered = 0;  ///< post-fault observations so far
+    std::size_t emitted = 0;    ///< stable reconstructed samples so far
+    /// Live coverage over the emitted prefix (mid-stream
+    /// snapshot_stats); meaningful when emitted > 0.
+    double evidence_fraction = 0.0;
+    double max_gap_hours = 0.0;
+    /// Mid-run verdicts: the split-window modes publish them as soon as
+    /// the classification window is ingested; kSame classifies at
+    /// finalize, so these stay default until drain.
+    BlockClassification cls{};
+    fault::BlockDegradation degradation{};
+  };
   /// Borrows `world` and `config` for the engine's lifetime.
   StreamingFleet(const sim::World& world, const FleetConfig& config)
       : StreamingFleet(std::span<const sim::BlockProfile>(world.blocks()),
@@ -113,6 +134,18 @@ class StreamingFleet {
   /// throws StateError(kBadValue).
   void save(util::StateWriter& w) const;
   void restore(util::StateReader& r);
+
+  /// Fills `rows` (resized to the block span) with the incremental
+  /// drive's current per-block state.  Like save(), valid only between
+  /// advances and only from the thread driving the engine — the rows
+  /// are a copy, so the caller may publish them to other threads.
+  void extract_rows(std::vector<BlockSnapshotRow>& rows) const;
+
+  /// The stable emitted-sample prefix of block i's detection-window
+  /// reconstruction.  Same validity rules as extract_rows(); the view
+  /// is invalidated by the next advance, so concurrent consumers must
+  /// copy.  Empty before the block's stream begins.
+  std::span<const double> emitted_series(std::size_t i) const;
 
  private:
   /// How the classification pass relates to the detection pass.

@@ -32,6 +32,17 @@
 
 namespace diurnal::recon {
 
+/// Read-only mid-stream health view: the stable counters a concurrent
+/// epoch snapshot copies out of a live pass (core::SnapshotServer).
+/// Pure reads of already-published values — no state machine is
+/// touched, so taking one between advances is free.
+struct StreamHealth {
+  std::size_t delivered = 0;     ///< post-fault observations delivered
+  std::size_t emitted = 0;       ///< stable reconstructed samples
+  std::size_t observations = 0;  ///< observations folded into the recon
+  int observers = 0;             ///< observer streams in the pass
+};
+
 class BlockStream {
  public:
   /// Re-initializes for one block, reusing internal buffers.  `config`
@@ -120,6 +131,11 @@ class BlockStream {
   /// The detection-window reconstruction state (stable emitted-sample
   /// prefix; provisional epoch analyses read this).
   const BlockReconState& recon_state() const noexcept { return recon_; }
+  /// Mid-stream health counters (see StreamHealth).
+  StreamHealth health() const noexcept {
+    return StreamHealth{delivered_, recon_.emitted(), recon_.observations(),
+                        static_cast<int>(streams_.size())};
+  }
 
  private:
   struct Stream {

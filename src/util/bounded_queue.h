@@ -1,0 +1,127 @@
+// Bounded blocking FIFO — the backpressure primitive of the query
+// plane (DESIGN.md section 13).  Producers enqueue work (epoch ticks on
+// the serve ingest feed); when the consumer falls behind, push() blocks
+// instead of letting the queue grow without bound, so memory stays flat
+// and the feed rate degrades to the ingest rate.
+//
+// The serve pipeline uses it MPSC (any number of feeders, one ingest
+// loop), but the implementation is safe for any number of producers and
+// consumers.  close() wakes everyone: blocked producers return false,
+// and consumers drain the remaining items before pop() returns nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace diurnal::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity would deadlock a lone producer; clamp to one.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues, blocking while the queue is full.  Returns false (and
+  /// drops the value) once the queue is closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (q_.size() >= capacity_ && !closed_) {
+      ++push_waits_;
+      not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    q_.push_back(std::move(value));
+    if (q_.size() > peak_size_) peak_size_ = q_.size();
+    ++pushed_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues only if there is room right now; never blocks.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(std::move(value));
+    if (q_.size() > peak_size_) peak_size_ = q_.size();
+    ++pushed_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues, blocking while the queue is empty.  Returns nullopt only
+  /// when the queue is closed AND fully drained — items enqueued before
+  /// close() are always delivered.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(q_.front()));
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Closes the queue.  Idempotent; wakes all blocked producers and
+  /// consumers.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Total values accepted (not counting pushes refused after close).
+  std::uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+
+  /// Times a producer blocked on a full queue — the backpressure signal
+  /// surfaced in ServeStats.
+  std::uint64_t push_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_waits_;
+  }
+
+  /// High-water mark of the queue depth; never exceeds capacity().
+  std::size_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_size_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> q_;
+  bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t push_waits_ = 0;
+  std::size_t peak_size_ = 0;
+};
+
+}  // namespace diurnal::util

@@ -1,0 +1,77 @@
+// RCU-style publication point for immutable epoch snapshots
+// (DESIGN.md section 13).  One writer publishes a fresh snapshot per
+// epoch; any number of readers pin the current one by copying the
+// shared_ptr.  The refcount keeps a pinned epoch alive however far the
+// writer advances, so a reader's view is bitwise-frozen for as long as
+// it holds the pointer — there is no other synchronization between the
+// query path and the ingest loop.
+//
+// The swap itself is a short mutex-guarded pointer exchange rather than
+// std::atomic<shared_ptr>: the critical section is two refcount ops, it
+// is portable, and it is trivially clean under ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace diurnal::util {
+
+template <typename T>
+class EpochRegistry {
+ public:
+  /// The latest published snapshot; null before the first publish.
+  /// Copying the shared_ptr pins the epoch for the caller's lifetime.
+  std::shared_ptr<const T> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Number of publishes so far.
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
+  /// Swaps in a new immutable snapshot and wakes waiters.  The previous
+  /// snapshot stays alive while any reader still pins it.
+  void publish(std::shared_ptr<const T> next) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = std::move(next);
+      ++version_;
+    }
+    changed_.notify_all();
+  }
+
+  /// Marks the registry closed (no further publishes expected) and
+  /// wakes waiters, so wait_for_version() cannot hang on a version that
+  /// will never arrive.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    changed_.notify_all();
+  }
+
+  /// Blocks until at least `version` publishes have happened, or the
+  /// registry is closed.  Returns the snapshot current at wake-up —
+  /// callers must check version()/epoch when they need exactly k.
+  std::shared_ptr<const T> wait_for_version(std::uint64_t version) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    changed_.wait(lock, [&] { return version_ >= version || closed_; });
+    return current_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable changed_;
+  std::shared_ptr<const T> current_;
+  std::uint64_t version_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace diurnal::util

@@ -1,6 +1,9 @@
 #include "util/state_io.h"
 
+#include <unistd.h>
+
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -207,7 +210,13 @@ StateReader::StateReader(std::span<const std::uint8_t> image)
   if (version_ != kStateFormatVersion) {
     fail(StateErrorKind::kBadVersion, "unsupported state format version");
   }
-  varint_ = (raw32() & kFlagVarint) != 0;
+  const std::uint32_t flags = raw32();
+  if ((flags & ~kFlagVarint) != 0) {
+    // A flag bit this reader does not understand changes decoding rules
+    // in ways it cannot honour; accepting it would be silent garbage.
+    fail(StateErrorKind::kBadValue, "unknown header flag bits");
+  }
+  varint_ = (flags & kFlagVarint) != 0;
 }
 
 void StateReader::fail(StateErrorKind kind, const char* what) const {
@@ -274,6 +283,22 @@ void StateReader::begin_section(std::uint32_t expected_tag) {
   }
   section_end_ = pos_ + static_cast<std::size_t>(len);
   section_open_ = true;
+}
+
+std::uint32_t StateReader::next_tag() const {
+  if (section_open_) {
+    fail(StateErrorKind::kBadSection, "next_tag inside a section");
+  }
+  need(4);
+  std::uint32_t tag;
+  std::memcpy(&tag, image_.data() + pos_, 4);
+  return tag;
+}
+
+void StateReader::skip_section() {
+  begin_section(next_tag());  // framing + CRC validation
+  pos_ = section_end_;
+  section_open_ = false;
 }
 
 void StateReader::end_section() {
@@ -369,7 +394,15 @@ void StateReader::f64_span_into(std::span<double> out) {
 
 void write_state_file(const std::string& path,
                       std::span<const std::uint8_t> bytes) {
-  const std::string tmp = path + ".tmp";
+  // The temp name must be unique per writer: two processes (or threads)
+  // flushing the same manifest concurrently — e.g. a capped run's final
+  // flush racing a freshly launched --resume — must each stage a private
+  // file and rename a complete image into place, never truncate or
+  // rename each other's half-written staging file.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     throw StateError(StateErrorKind::kIo, "cannot open for write: " + tmp);

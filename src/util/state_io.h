@@ -137,6 +137,12 @@ class StateReader {
   void end_section();
   /// True when the image has another section to read.
   bool has_section() const noexcept { return pos_ < image_.size(); }
+  /// The tag of the next section, without opening it.
+  std::uint32_t next_tag() const;
+  /// Validates the next section's framing and payload checksum without
+  /// decoding it, then steps past it — the forward-compatibility path
+  /// for sections this consumer does not understand.
+  void skip_section();
 
   std::uint8_t u8();
   std::uint32_t u32();
@@ -165,9 +171,10 @@ class StateReader {
   std::uint32_t version_ = 0;
 };
 
-/// Writes an image to `path` atomically: the bytes land in
-/// `path + ".tmp"` and are renamed over the destination, so a reader
-/// (or a crash) sees either the old complete file or the new complete
+/// Writes an image to `path` atomically: the bytes land in a staging
+/// file with a per-process unique suffix and are renamed over the
+/// destination, so a reader (or a crash, or a concurrent writer of the
+/// same path) sees either the old complete file or a new complete
 /// file, never a torn one.  Throws StateError(kIo) on failure.
 void write_state_file(const std::string& path,
                       std::span<const std::uint8_t> bytes);

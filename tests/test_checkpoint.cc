@@ -18,8 +18,10 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <random>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/cusum.h"
@@ -195,6 +197,185 @@ TEST(StateIo, EveryCorruptionIsATypedError) {
 
   EXPECT_EQ(kind_of([&] { StateReader r(std::vector<std::uint8_t>{}); }),
             StateErrorKind::kTruncated);
+}
+
+TEST(StateIo, UnknownHeaderFlagBitsAreRejected) {
+  // A future writer setting flag bits this reader does not understand
+  // must be refused up front, not half-parsed.  Bit 0 is the varint
+  // packing flag; the header flags field starts at offset 16.
+  StateWriter w;
+  w.begin_section(util::state_tag("FLAG"));
+  w.u64(1);
+  w.end_section();
+  auto image = w.bytes();
+  image[16] |= 0x02;
+  EXPECT_EQ(kind_of([&] { StateReader r(image); }),
+            StateErrorKind::kBadValue);
+}
+
+TEST(StateIo, SkipSectionValidatesFramingWithoutDecoding) {
+  StateWriter w;
+  w.begin_section(util::state_tag("SKP1"));
+  w.str("a section this consumer does not understand");
+  w.end_section();
+  w.begin_section(util::state_tag("SKP2"));
+  w.u64(99);
+  w.end_section();
+  StateReader r(w.bytes());
+  EXPECT_EQ(r.next_tag(), util::state_tag("SKP1"));
+  r.skip_section();  // unknown content skipped, CRC still enforced
+  EXPECT_EQ(r.next_tag(), util::state_tag("SKP2"));
+  r.begin_section(util::state_tag("SKP2"));
+  EXPECT_EQ(r.u64(), 99u);
+  r.end_section();
+  EXPECT_FALSE(r.has_section());
+}
+
+TEST(StateIo, BitFlipFuzzEveryMutationIsATypedError) {
+  // Randomized single-bit-flip fuzz over a real engine image: every
+  // byte of a state image is covered by either header validation or a
+  // section CRC, so whatever bit flips, walking the image must throw a
+  // typed StateError — never crash, hang, or accept silently.
+  static const sim::World world([] {
+    sim::WorldConfig c;
+    c.num_blocks = 40;
+    c.seed = 11;
+    return c;
+  }());
+  core::FleetConfig fc;
+  fc.dataset = core::dataset("2020w1-ejnw");
+  fc.threads = 1;
+  core::StreamingFleet engine(world, fc);
+  engine.advance_to(engine.window_start() + 4 * util::kSecondsPerDay);
+  StateWriter w;
+  engine.save(w);
+  const std::vector<std::uint8_t> clean = w.bytes();
+  ASSERT_GT(clean.size(), 64u);
+
+  const auto parse = [](const std::vector<std::uint8_t>& image) {
+    StateReader r(image);
+    while (r.has_section()) r.skip_section();
+  };
+  parse(clean);  // sanity: the clean image walks
+
+  std::mt19937_64 rng(0xD1U);
+  std::uniform_int_distribution<std::size_t> pos(0, clean.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto mutated = clean;
+    mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+    try {
+      parse(mutated);
+    } catch (const StateError&) {
+      ++rejected;
+      continue;
+    }
+    // Any other exception type aborts the test run by itself.
+    ADD_FAILURE() << "bit flip at trial " << trial
+                  << " was silently accepted";
+  }
+  EXPECT_EQ(rejected, 1000u);
+
+  // And the real consumer agrees: a mutated image never restores.
+  std::size_t restore_rejected = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto mutated = clean;
+    mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+    core::StreamingFleet fresh(world, fc);
+    try {
+      StateReader r(mutated);
+      fresh.restore(r);
+    } catch (const StateError&) {
+      ++restore_rejected;
+    }
+  }
+  EXPECT_EQ(restore_rejected, 100u);
+}
+
+TEST(StateIo, TruncationFuzzEveryPrefixIsATypedError) {
+  // Every strict prefix of a valid image must surface as kTruncated,
+  // kBadCrc or kBadSection — never a crash and never a clean walk.
+  StateWriter w;
+  w.begin_section(util::state_tag("TRNC"));
+  for (int i = 0; i < 256; ++i) w.u64(static_cast<std::uint64_t>(i) * 31);
+  w.end_section();
+  w.begin_section(util::state_tag("TAIL"));
+  w.str("tail section");
+  w.end_section();
+  const std::vector<std::uint8_t> clean = w.bytes();
+
+  std::mt19937_64 rng(0x7CU);
+  std::uniform_int_distribution<std::size_t> cut(0, clean.size() - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = clean;
+    mutated.resize(cut(rng));
+    // The one structurally valid prefix is the bare 20-byte header — an
+    // empty image.  The reader cannot know sections were lost, but any
+    // consumer asking for its expected section still gets kTruncated.
+    bool walked_empty = false;
+    try {
+      StateReader r(mutated);
+      while (r.has_section()) r.skip_section();
+      walked_empty = true;
+    } catch (const StateError& e) {
+      EXPECT_TRUE(e.kind() == StateErrorKind::kTruncated ||
+                  e.kind() == StateErrorKind::kBadCrc ||
+                  e.kind() == StateErrorKind::kBadSection)
+          << "cut " << mutated.size() << " gave kind "
+          << static_cast<int>(e.kind());
+    }
+    if (walked_empty) {
+      EXPECT_FALSE(StateReader(mutated).has_section())
+          << "a section-bearing prefix walked cleanly at cut "
+          << mutated.size();
+      EXPECT_EQ(kind_of([&] {
+                  StateReader r(mutated);
+                  r.begin_section(util::state_tag("TRNC"));
+                }),
+                StateErrorKind::kTruncated);
+    }
+  }
+}
+
+TEST(StateIo, ConcurrentWritersToOneDirectoryNeverTearAFile) {
+  // Regression for the fixed staging-name collision: concurrent
+  // write_state_file calls into one directory (distinct paths, shared
+  // prefix) must each land a complete, parseable image.
+  const auto dir = temp_dir("concurrent_write");
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        StateWriter w;
+        w.begin_section(util::state_tag("CONC"));
+        w.u64(static_cast<std::uint64_t>(t));
+        w.u64(static_cast<std::uint64_t>(round));
+        w.end_section();
+        util::write_state_file(
+            (dir / ("writer-" + std::to_string(t) + ".ckpt")).string(),
+            w.bytes());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (int t = 0; t < kWriters; ++t) {
+    const auto image = util::read_state_file(
+        (dir / ("writer-" + std::to_string(t) + ".ckpt")).string());
+    StateReader r(image);
+    r.begin_section(util::state_tag("CONC"));
+    EXPECT_EQ(r.u64(), static_cast<std::uint64_t>(t));
+    EXPECT_EQ(r.u64(), static_cast<std::uint64_t>(kRounds - 1));
+    r.end_section();
+  }
+  // No staging leftovers either.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".ckpt")
+        << "staging file leaked: " << entry.path();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(StateIo, AtomicFileWriteRoundTripsAndMissingFileIsIo) {
@@ -695,6 +876,48 @@ TEST(ShardCheckpoint, CorruptShardFileIsRecomputedNotTrusted) {
   const auto fresh = core::run_sharded_fleet(wc, fc, resumed);
   EXPECT_EQ(fresh.stats.resumed_shards, 0u);
   EXPECT_EQ(core::digest_hex(core::fleet_digest(fresh.fleet)), ref_digest);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardCheckpoint, FinalizeManifestWriteIsIdempotent) {
+  // Regression: when manifest_every fires on the FINAL shard, the
+  // run-end flush used to rewrite the manifest a second time — a window
+  // where a concurrently starting --resume could read a mid-rename
+  // manifest.  flush_manifest() with nothing new must now be a no-op.
+  const auto dir = temp_dir("finalize_idempotent");
+  core::FleetResult fleet;
+  fleet.outcomes.resize(8);
+  fleet.degradation.blocks.resize(8);
+  const core::ChangeAggregator agg;
+
+  {
+    // manifest_every=1: the 4th record_shard already persisted shard 3;
+    // the finalize flush has nothing to add.
+    core::CheckpointManager mgr(dir.string(), 0x5eedULL, 8, 2, 1);
+    for (std::size_t k = 0; k < 4; ++k) {
+      mgr.record_shard(k, 2 * k, 2 * k + 2, fleet, agg, false);
+    }
+    EXPECT_EQ(mgr.manifest_writes(), 4u);
+    mgr.flush_manifest();
+    mgr.flush_manifest();  // and the no-op itself is repeatable
+    EXPECT_EQ(mgr.manifest_writes(), 4u);
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    // manifest_every=3 over 4 shards: one batched write mid-run, one
+    // real flush for the unpersisted tail, then nothing.
+    core::CheckpointManager mgr(dir.string(), 0x5eedULL, 8, 2, 3);
+    for (std::size_t k = 0; k < 4; ++k) {
+      mgr.record_shard(k, 2 * k, 2 * k + 2, fleet, agg, false);
+    }
+    EXPECT_EQ(mgr.manifest_writes(), 1u);
+    mgr.flush_manifest();
+    EXPECT_EQ(mgr.manifest_writes(), 2u);
+    mgr.flush_manifest();
+    EXPECT_EQ(mgr.manifest_writes(), 2u);
+    EXPECT_EQ(mgr.load_manifest(), (std::vector<std::size_t>{0, 1, 2, 3}));
+  }
   std::filesystem::remove_all(dir);
 }
 
